@@ -1,0 +1,42 @@
+# QR-DTM developer entry points.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-quick exp exp-quick fmt cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/
+
+# Every paper artifact as a Go benchmark (throughput via b.ReportMetric).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+bench-quick:
+	$(GO) test -bench='LocalTxn|StoreValidate|QuorumConstruction' -benchmem .
+
+# Regenerate the paper's figures and tables.
+exp:
+	$(GO) run ./cmd/qr-bench -exp all
+
+exp-quick:
+	$(GO) run ./cmd/qr-bench -exp all -quick
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -15
+
+clean:
+	rm -f cover.out

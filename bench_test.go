@@ -1,0 +1,322 @@
+// Benchmarks regenerating the paper's artifacts as `go test -bench`
+// targets: one benchmark family per figure/table (throughput reported as
+// txn/s via b.ReportMetric) plus CPU/alloc micro-benchmarks for the hot
+// protocol paths. cmd/qr-bench produces the full tables; these benches are
+// the one-command reproduction path.
+package qrdtm_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"qrdtm"
+	"qrdtm/internal/bench"
+	"qrdtm/internal/core"
+	"qrdtm/internal/harness"
+	"qrdtm/internal/proto"
+	"qrdtm/internal/quorum"
+	"qrdtm/internal/store"
+)
+
+// benchScale keeps each measured cell under ~1 s of (mostly slept) wall
+// time so the full -bench=. run stays in minutes.
+func benchScale() harness.Scale {
+	s := harness.QuickScale()
+	s.Clients = 4
+	s.Txns = 8
+	return s
+}
+
+func benchCell(b *testing.B, cfg harness.Config) {
+	b.Helper()
+	var last harness.Result
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.Throughput, "txn/s")
+	b.ReportMetric(last.AbortRate(), "aborts/txn")
+	b.ReportMetric(last.MsgsPerCommit(), "msgs/txn")
+}
+
+func cellCfg(s harness.Scale, workload string, mode core.Mode, mut func(*harness.Config)) harness.Config {
+	p := map[string]bench.Params{
+		"bank":     {Objects: 16, Ops: 4, ReadRatio: 0.2},
+		"hashmap":  {Objects: 48, Ops: 4, ReadRatio: 0.2},
+		"slist":    {Objects: 48, Ops: 4, ReadRatio: 0.2},
+		"rbtree":   {Objects: 48, Ops: 4, ReadRatio: 0.2},
+		"vacation": {Objects: 12, Ops: 4, ReadRatio: 0.2},
+		"bst":      {Objects: 48, Ops: 4, ReadRatio: 0.2},
+	}[workload]
+	cfg := harness.Config{
+		Workload: workload, Params: p, Mode: mode,
+		Nodes: s.Nodes, Clients: s.Clients, TxnsPerClient: s.Txns,
+		Seed: s.Seed, Latency: s.Latency, TxTime: s.TxTime,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return cfg
+}
+
+var allModes = []core.Mode{core.Flat, core.Closed, core.Checkpoint}
+
+// BenchmarkFig5 — throughput vs read workload (one low-read and one
+// high-read point per benchmark and mode).
+func BenchmarkFig5(b *testing.B) {
+	s := benchScale()
+	for _, w := range []string{"bank", "hashmap", "slist", "rbtree", "vacation"} {
+		for _, mode := range allModes {
+			for _, rr := range []float64{0.2, 0.8} {
+				b.Run(fmt.Sprintf("%s/%v/read%d", w, mode, int(rr*100)), func(b *testing.B) {
+					benchCell(b, cellCfg(s, w, mode, func(c *harness.Config) { c.Params.ReadRatio = rr }))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 — throughput vs transaction length (nested calls).
+func BenchmarkFig6(b *testing.B) {
+	s := benchScale()
+	for _, w := range []string{"bank", "hashmap", "slist", "rbtree", "vacation"} {
+		for _, mode := range allModes {
+			for _, ops := range []int{1, 5} {
+				b.Run(fmt.Sprintf("%s/%v/ops%d", w, mode, ops), func(b *testing.B) {
+					benchCell(b, cellCfg(s, w, mode, func(c *harness.Config) { c.Params.Ops = ops }))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig7 — throughput vs number of objects (contention scaling).
+func BenchmarkFig7(b *testing.B) {
+	s := benchScale()
+	sweep := map[string][]int{
+		"bank": {8, 64}, "hashmap": {16, 128}, "slist": {16, 128},
+		"rbtree": {16, 128}, "vacation": {4, 32},
+	}
+	for _, w := range []string{"bank", "hashmap", "slist", "rbtree", "vacation"} {
+		for _, mode := range allModes {
+			for _, objs := range sweep[w] {
+				b.Run(fmt.Sprintf("%s/%v/obj%d", w, mode, objs), func(b *testing.B) {
+					benchCell(b, cellCfg(s, w, mode, func(c *harness.Config) { c.Params.Objects = objs }))
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 — the abort/message accounting cells (same runs as the
+// Figure 8 table; the derived percentages come from qr-bench -exp fig8).
+func BenchmarkFig8(b *testing.B) {
+	s := benchScale()
+	for _, w := range []string{"bank", "hashmap", "slist", "rbtree", "vacation"} {
+		for _, mode := range allModes {
+			b.Run(fmt.Sprintf("%s/%v", w, mode), func(b *testing.B) {
+				benchCell(b, cellCfg(s, w, mode, nil))
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 — QR-DTM vs HyFlow(TFA) vs DecentSTM on Bank.
+func BenchmarkFig9(b *testing.B) {
+	s := benchScale()
+	for _, rr := range []float64{0.5, 0.9} {
+		for _, sys := range []string{"qr", "tfa", "decent"} {
+			b.Run(fmt.Sprintf("read%d/%s", int(rr*100), sys), func(b *testing.B) {
+				var last harness.CompareResult
+				for i := 0; i < b.N; i++ {
+					res, err := harness.RunCompare(context.Background(), harness.CompareConfig{
+						System: sys, Nodes: s.Nodes, Clients: s.Clients,
+						TxnsPerClient: s.Txns, Accounts: 32, ReadRatio: rr,
+						Seed: s.Seed, Latency: s.Latency, TxTime: s.TxTime,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.Throughput, "txn/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig10 — throughput under increasing node failures (28 nodes,
+// spread read quorums, bounded replica capacity).
+func BenchmarkFig10(b *testing.B) {
+	s := benchScale()
+	for _, failures := range []int{0, 1, 2, 4, 8} {
+		for _, w := range []string{"hashmap", "bst", "vacation"} {
+			b.Run(fmt.Sprintf("fail%d/%s", failures, w), func(b *testing.B) {
+				benchCell(b, cellCfg(s, w, core.Closed, func(c *harness.Config) {
+					c.Nodes = 28
+					c.SpreadReads = true
+					c.ServiceTime = 2 * time.Millisecond
+					order := []proto.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+					c.FailNodes = order[:failures]
+				}))
+			})
+		}
+	}
+}
+
+// BenchmarkChkOverhead — contention-free checkpoint-creation overhead
+// (§VI-C's "6%" side experiment).
+func BenchmarkChkOverhead(b *testing.B) {
+	s := benchScale()
+	for _, mode := range []core.Mode{core.Flat, core.Checkpoint} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchCell(b, cellCfg(s, "bank", mode, func(c *harness.Config) {
+				c.Clients = 1
+				c.TxnsPerClient = 20
+				c.Params.Ops = 8
+			}))
+		})
+	}
+}
+
+// BenchmarkAblRqv — flat nesting with vs without incremental validation.
+func BenchmarkAblRqv(b *testing.B) {
+	s := benchScale()
+	for _, mode := range []core.Mode{core.Flat, core.FlatRqv} {
+		b.Run(mode.String(), func(b *testing.B) {
+			benchCell(b, cellCfg(s, "hashmap", mode, nil))
+		})
+	}
+}
+
+// BenchmarkAblChkGran — checkpoint granularity sweep.
+func BenchmarkAblChkGran(b *testing.B) {
+	s := benchScale()
+	for _, every := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("every%d", every), func(b *testing.B) {
+			benchCell(b, cellCfg(s, "hashmap", core.Checkpoint, func(c *harness.Config) {
+				c.CheckpointEvery = every
+			}))
+		})
+	}
+}
+
+// ---- Micro-benchmarks: CPU/alloc cost of the hot protocol paths ----
+
+// BenchmarkQuorumConstruction — tree quorum assembly, healthy and degraded.
+func BenchmarkQuorumConstruction(b *testing.B) {
+	tree := quorum.NewTree(40)
+	down := map[proto.NodeID]bool{0: true, 2: true, 7: true}
+	alive := func(n proto.NodeID) bool { return !down[n] }
+	b.Run("read/healthy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tree.ReadQuorum(quorum.AllAlive); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read/degraded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tree.ReadQuorumChoice(alive, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("write/healthy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tree.WriteQuorum(quorum.AllAlive); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreValidate — the Rqv validation inner loop.
+func BenchmarkStoreValidate(b *testing.B) {
+	st := store.New()
+	var copies []proto.ObjectCopy
+	var items []proto.DataItem
+	for i := 0; i < 64; i++ {
+		id := proto.ObjectID(fmt.Sprintf("o%d", i))
+		copies = append(copies, proto.ObjectCopy{ID: id, Version: 5, Val: proto.Int64(int64(i))})
+		items = append(items, proto.DataItem{ID: id, Version: 5, OwnerDepth: i % 3, OwnerChk: i % 4})
+	}
+	st.Load(copies)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := st.Validate(1, items); !res.OK {
+			b.Fatal("unexpected conflict")
+		}
+	}
+}
+
+// BenchmarkStorePrepareCommit — one replica's two-phase commit path.
+func BenchmarkStorePrepareCommit(b *testing.B) {
+	st := store.New()
+	id := proto.ObjectID("hot")
+	st.Load([]proto.ObjectCopy{{ID: id, Version: 1, Val: proto.Int64(0)}})
+	v := proto.Version(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := proto.TxnID(i + 1)
+		w := []proto.ObjectCopy{{ID: id, Version: v, Val: proto.Int64(int64(i))}}
+		if !st.Prepare(txn, nil, w) {
+			b.Fatal("prepare rejected")
+		}
+		w[0].Version = v + 1
+		st.Commit(txn, w)
+		v++
+	}
+}
+
+// BenchmarkRBTreeOps — in-memory red-black logic (insert+delete round).
+func BenchmarkRBTreeOps(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := benchNewRBFixture(rng)
+		_ = m
+	}
+}
+
+// benchNewRBFixture builds and tears down a small tree through the
+// workload's own Setup/Verify plumbing.
+func benchNewRBFixture(rng *rand.Rand) []proto.ObjectCopy {
+	w := bench.NewRBTree("b")
+	return w.Setup(bench.Params{Objects: 128, Ops: 1}, rng)
+}
+
+// BenchmarkLocalTxn — end-to-end transaction cost without simulated delays
+// (pure engine overhead: footprint bookkeeping, validation, 2PC plumbing).
+func BenchmarkLocalTxn(b *testing.B) {
+	for _, mode := range allModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			w, err := bench.New("bank")
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := bench.Params{Objects: 64, Ops: 4, ReadRatio: 0.2}
+			c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 13, Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Load(w.Setup(p, rand.New(rand.NewPCG(1, 2))))
+			rt := c.Runtime(3)
+			rng := rand.New(rand.NewPCG(3, 4))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, steps := w.NewTxn(rng, p)
+				if _, err := rt.AtomicSteps(context.Background(), st, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Command qr-quorum inspects the ternary tree quorum system: it prints the
+// tree layout and the read/write quorums for a given failure set, the same
+// construction QR-DTM uses at runtime.
+//
+//	qr-quorum -nodes 13
+//	qr-quorum -nodes 28 -down 0,1,2
+//	qr-quorum -nodes 13 -enumerate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qrdtm/internal/proto"
+	"qrdtm/internal/quorum"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 13, "tree size")
+	downList := flag.String("down", "", "comma-separated crashed node ids")
+	choices := flag.Int("choices", 4, "how many alternative quorums to show")
+	enumerate := flag.Bool("enumerate", false, "enumerate all quorums (small trees)")
+	flag.Parse()
+
+	tree := quorum.NewTree(*nodes)
+	down := map[proto.NodeID]bool{}
+	if *downList != "" {
+		for _, s := range strings.Split(*downList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qr-quorum: bad node id %q\n", s)
+				os.Exit(2)
+			}
+			down[proto.NodeID(n)] = true
+		}
+	}
+	alive := func(n proto.NodeID) bool { return !down[n] }
+
+	fmt.Printf("ternary tree over %d nodes (children of i: 3i+1..3i+3)\n", *nodes)
+	printTree(tree, 0, "", down)
+	fmt.Println()
+
+	rq, err := tree.ReadQuorum(alive)
+	if err != nil {
+		fmt.Printf("read quorum:  %v\n", err)
+	} else {
+		fmt.Printf("read quorum:  %v (size %d)\n", rq, len(rq))
+	}
+	wq, err := tree.WriteQuorum(alive)
+	if err != nil {
+		fmt.Printf("write quorum: %v\n", err)
+	} else {
+		fmt.Printf("write quorum: %v (size %d)\n", wq, len(wq))
+	}
+
+	if *choices > 1 {
+		fmt.Println("\nalternative read quorums (load spreading):")
+		seen := map[string]bool{}
+		for c := 0; c < *choices*4 && len(seen) < *choices; c++ {
+			q, err := tree.ReadQuorumChoice(alive, c)
+			if err != nil {
+				continue
+			}
+			key := fmt.Sprint(q)
+			if !seen[key] {
+				seen[key] = true
+				fmt.Printf("  %v\n", q)
+			}
+		}
+	}
+
+	if *enumerate {
+		rqs := tree.AllReadQuorums(alive, 64)
+		wqs := tree.AllWriteQuorums(alive, 64)
+		fmt.Printf("\nall read quorums (first %d):\n", len(rqs))
+		for _, q := range rqs {
+			fmt.Printf("  %v\n", q)
+		}
+		fmt.Printf("all write quorums (first %d):\n", len(wqs))
+		for _, q := range wqs {
+			fmt.Printf("  %v\n", q)
+		}
+	}
+}
+
+func printTree(t *quorum.Tree, v proto.NodeID, indent string, down map[proto.NodeID]bool) {
+	status := ""
+	if down[v] {
+		status = "  [DOWN]"
+	}
+	fmt.Printf("%s%v%s\n", indent, v, status)
+	for _, c := range t.Children(v) {
+		printTree(t, c, indent+"  ", down)
+	}
+}

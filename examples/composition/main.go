@@ -1,0 +1,94 @@
+// Composition: closed nesting is what makes transactions composable — this
+// example uses OrElse (Harris et al.'s construct, which the paper cites as
+// the motivation for partial rollback) to book a seat from the first venue
+// with availability, falling back to a waitlist. Failed alternatives are
+// rolled back without poisoning the enclosing transaction.
+//
+//	go run ./examples/composition
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"qrdtm"
+)
+
+// Venue is a seat counter payload.
+type Venue struct {
+	Name  string
+	Seats int64
+}
+
+// CloneValue implements qrdtm.Value.
+func (v Venue) CloneValue() qrdtm.Value { return v }
+
+func main() {
+	ctx := context.Background()
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{
+		Nodes:  13,
+		Mode:   qrdtm.Closed, // OrElse needs subtransaction isolation
+		TxTime: time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.LoadKV(map[qrdtm.ObjectID]qrdtm.Value{
+		"venue/arena":   Venue{Name: "Arena", Seats: 2},
+		"venue/theatre": Venue{Name: "Theatre", Seats: 1},
+		"waitlist":      qrdtm.Int64(0),
+	})
+
+	// book tries a venue inside a subtransaction: if it's sold out the
+	// branch fails and everything it read or wrote is discarded.
+	book := func(venue qrdtm.ObjectID, who string) func(*qrdtm.Txn) error {
+		return func(ct *qrdtm.Txn) error {
+			v, err := ct.Read(venue)
+			if err != nil {
+				return err
+			}
+			ven := v.(Venue)
+			if ven.Seats == 0 {
+				return qrdtm.ErrBranchFailed // sold out: try the next alternative
+			}
+			ven.Seats--
+			if err := ct.Write(venue, ven); err != nil {
+				return err
+			}
+			fmt.Printf("%-8s booked at %s (%d left)\n", who, ven.Name, ven.Seats)
+			return nil
+		}
+	}
+	waitlist := func(who string) func(*qrdtm.Txn) error {
+		return func(ct *qrdtm.Txn) error {
+			n, err := ct.Read("waitlist")
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s waitlisted (#%d)\n", who, int64(n.(qrdtm.Int64))+1)
+			return ct.Write("waitlist", n.(qrdtm.Int64)+1)
+		}
+	}
+
+	rt := c.Runtime(3)
+	for _, who := range []string{"ada", "bob", "carol", "dave", "erin"} {
+		err := rt.Atomic(ctx, func(tx *qrdtm.Txn) error {
+			return tx.OrElse(
+				book("venue/arena", who),
+				book("venue/theatre", who),
+				waitlist(who),
+			)
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", who, err)
+		}
+	}
+
+	arena, _ := c.ReadCommitted(ctx, "venue/arena")
+	theatre, _ := c.ReadCommitted(ctx, "venue/theatre")
+	wl, _ := c.ReadCommitted(ctx, "waitlist")
+	fmt.Printf("\nfinal: arena %d seats, theatre %d seats, waitlist %d\n",
+		arena.Val.(Venue).Seats, theatre.Val.(Venue).Seats, wl.Val.(qrdtm.Int64))
+}

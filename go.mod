@@ -1,0 +1,3 @@
+module qrdtm
+
+go 1.22

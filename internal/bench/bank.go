@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// InitialBalance is every account's starting balance; the Bank invariant is
+// that the total never changes.
+const InitialBalance = 1000
+
+// Bank is the paper's monetary macro-benchmark (after HyFlow's bank): each
+// operation either transfers between two random accounts (2 reads + 2
+// writes) or audits two random accounts (2 reads).
+type Bank struct {
+	prefix string
+}
+
+// NewBank builds a bank workload whose objects live under the given name.
+func NewBank(name string) *Bank { return &Bank{prefix: name} }
+
+// Name implements Workload.
+func (b *Bank) Name() string { return "Bank" }
+
+func (b *Bank) acct(i int) proto.ObjectID {
+	return proto.ObjectID(fmt.Sprintf("%s/a%d", b.prefix, i))
+}
+
+// Setup implements Workload.
+func (b *Bank) Setup(p Params, _ *rand.Rand) []proto.ObjectCopy {
+	copies := make([]proto.ObjectCopy, p.Objects)
+	for i := range copies {
+		copies[i] = proto.ObjectCopy{ID: b.acct(i), Version: 1, Val: proto.Int64(InitialBalance)}
+	}
+	return copies
+}
+
+// NewTxn implements Workload: p.Ops operations, each one step.
+func (b *Bank) NewTxn(rng *rand.Rand, p Params) (core.State, []core.Step) {
+	steps := make([]core.Step, p.Ops)
+	for i := range steps {
+		from := rng.IntN(p.Objects)
+		to := rng.IntN(p.Objects)
+		if to == from {
+			to = (to + 1) % p.Objects
+		}
+		if p.Objects == 1 {
+			to = from
+		}
+		if rng.Float64() < p.ReadRatio {
+			steps[i] = b.auditStep(from, to)
+		} else {
+			steps[i] = b.transferStep(from, to, int64(rng.IntN(10)+1))
+		}
+	}
+	return core.NoState{}, steps
+}
+
+func (b *Bank) auditStep(x, y int) core.Step {
+	return func(tx *core.Txn, _ core.State) error {
+		bx, err := readInt64(tx, b.acct(x))
+		if err != nil {
+			return err
+		}
+		by, err := readInt64(tx, b.acct(y))
+		if err != nil {
+			return err
+		}
+		_ = bx + by
+		return nil
+	}
+}
+
+func (b *Bank) transferStep(from, to int, amt int64) core.Step {
+	return func(tx *core.Txn, _ core.State) error {
+		if from == to {
+			return nil
+		}
+		f, err := readInt64(tx, b.acct(from))
+		if err != nil {
+			return err
+		}
+		t, err := readInt64(tx, b.acct(to))
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(b.acct(from), proto.Int64(f-amt)); err != nil {
+			return err
+		}
+		return tx.Write(b.acct(to), proto.Int64(t+amt))
+	}
+}
+
+// Verify implements Workload: the total balance is conserved.
+func (b *Bank) Verify(p Params, read Oracle) error {
+	total := int64(0)
+	for i := 0; i < p.Objects; i++ {
+		v, ok := read(b.acct(i))
+		if !ok {
+			return fmt.Errorf("bank: account %d missing", i)
+		}
+		total += int64(v.(proto.Int64))
+	}
+	if want := int64(p.Objects) * InitialBalance; total != want {
+		return fmt.Errorf("bank: total = %d, want %d", total, want)
+	}
+	return nil
+}

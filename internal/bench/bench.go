@@ -1,0 +1,127 @@
+// Package bench implements the paper's benchmark applications as
+// distributed data structures over the QR-DTM transaction API:
+//
+//   - Bank: monetary transfers and audits over account objects (macro).
+//   - Hashmap: fixed-bucket chained hash map, one object per chain node.
+//   - SList: skiplist with per-node objects and multi-level forward
+//     pointers (the paper's longest transactions).
+//   - RBTree: red-black tree, one object per node, with full insert and
+//     delete rebalancing.
+//   - BST: unbalanced binary search tree (used in the failure experiment).
+//   - Vacation: STAMP-style travel reservations over car/flight/room
+//     relations and customer records (macro).
+//
+// Every workload expresses one application transaction as a step program
+// (core.Step list): the harness runs the same program under flat nesting
+// (steps inlined), closed nesting (each step a subtransaction) and
+// checkpointing (automatic checkpoints between steps), exactly mirroring
+// how the paper maps data-structure operations onto CTs.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// Params scales a workload.
+type Params struct {
+	// Objects is the benchmark's size knob — the paper's "number of
+	// objects" axis. Its meaning is per-benchmark: accounts (Bank),
+	// elements (Hashmap/SList/RBTree/BST), relation rows (Vacation).
+	Objects int
+	// Ops is the number of data-structure operations per transaction —
+	// the paper's "number of nested calls" axis.
+	Ops int
+	// ReadRatio is the fraction of read-only operations (0..1) — the
+	// paper's "read workload" axis.
+	ReadRatio float64
+}
+
+// Check validates the parameters.
+func (p Params) Check() error {
+	if p.Objects < 1 {
+		return fmt.Errorf("bench: Objects = %d, need >= 1", p.Objects)
+	}
+	if p.Ops < 1 {
+		return fmt.Errorf("bench: Ops = %d, need >= 1", p.Ops)
+	}
+	if p.ReadRatio < 0 || p.ReadRatio > 1 {
+		return fmt.Errorf("bench: ReadRatio = %v, need 0..1", p.ReadRatio)
+	}
+	return nil
+}
+
+// Oracle reads the latest committed copy of an object outside any
+// transaction (verification only).
+type Oracle func(proto.ObjectID) (proto.Value, bool)
+
+// Workload builds benchmark transactions. Implementations are safe for
+// concurrent NewTxn calls from multiple client goroutines.
+type Workload interface {
+	// Name is the benchmark's presentation name (matches the paper).
+	Name() string
+	// Setup returns the initial objects to install before the run.
+	Setup(p Params, rng *rand.Rand) []proto.ObjectCopy
+	// NewTxn assembles one application transaction: the step program plus
+	// its initial state. All randomness must be drawn here (not inside
+	// steps) so retries re-execute the same logical operation.
+	NewTxn(rng *rand.Rand, p Params) (core.State, []core.Step)
+	// Verify checks the workload's structural invariants against committed
+	// state after a run.
+	Verify(p Params, read Oracle) error
+}
+
+// New constructs a workload by its registry name: "bank", "hashmap",
+// "slist", "rbtree", "bst" or "vacation".
+func New(name string) (Workload, error) {
+	switch name {
+	case "bank":
+		return NewBank("bank"), nil
+	case "hashmap":
+		return NewHashmap("hm", 13), nil
+	case "slist":
+		return NewSkipList("sl"), nil
+	case "rbtree":
+		return NewRBTree("rb"), nil
+	case "bst":
+		return NewBST("bst"), nil
+	case "vacation":
+		return NewVacation("vac"), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown workload %q", name)
+	}
+}
+
+// Names lists the registered workloads in the paper's presentation order.
+var Names = []string{"bank", "hashmap", "slist", "rbtree", "vacation", "bst"}
+
+// maxTraversal bounds pointer-chasing loops inside transactions. Flat
+// transactions can observe inconsistent snapshots whose stale pointers form
+// cycles; a bounded walk turns the would-be hang into an error that the
+// engine's zombie revalidation converts into an ordinary abort-and-retry.
+const maxTraversal = 1 << 17
+
+// errCyclicSnapshot reports a traversal that exceeded maxTraversal.
+var errCyclicSnapshot = errors.New("bench: traversal did not terminate (inconsistent snapshot)")
+
+// readVal reads an object and reports (value, present).
+func readVal(tx *core.Txn, id proto.ObjectID) (proto.Value, bool, error) {
+	v, err := tx.Read(id)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, v != nil, nil
+}
+
+// readInt64 reads an Int64 object, defaulting to 0 when absent.
+func readInt64(tx *core.Txn, id proto.ObjectID) (int64, error) {
+	v, ok, err := readVal(tx, id)
+	if err != nil || !ok {
+		return 0, err
+	}
+	return int64(v.(proto.Int64)), nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"math/rand/v2"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// This file exports single-operation step constructors. Workloads assemble
+// them randomly through NewTxn; tests and applications can also build
+// deterministic transactions from them directly.
+
+// HashmapPut inserts key into h (no-op if present).
+func HashmapPut(h *Hashmap, key int64) core.Step {
+	return h.putStep(key, h.newNodeID())
+}
+
+// HashmapRemove removes key from h (no-op if absent).
+func HashmapRemove(h *Hashmap, key int64) core.Step {
+	return h.removeStep(key)
+}
+
+// HashmapContains looks key up in h, writing the verdict to found.
+func HashmapContains(h *Hashmap, key int64, found *bool) core.Step {
+	return func(tx *core.Txn, _ core.State) error {
+		cur, err := h.chainFirst(tx, h.bucketOf(key))
+		if err != nil {
+			return err
+		}
+		*found = false
+		for hops := 0; cur != ""; hops++ {
+			if hops > maxTraversal {
+				return errCyclicSnapshot
+			}
+			v, ok, err := readVal(tx, cur)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return errDangling("hashmap", cur)
+			}
+			n := v.(ChainNode)
+			if n.Key == key {
+				*found = true
+				return nil
+			}
+			cur = n.Next
+		}
+		return nil
+	}
+}
+
+// SkipListInsert inserts key into s with a tower height drawn from rng.
+func SkipListInsert(s *SkipList, key int64, rng *rand.Rand) core.Step {
+	return s.insertStep(key, randomLevel(rng), s.newNodeID())
+}
+
+// SkipListRemove removes key from s (no-op if absent).
+func SkipListRemove(s *SkipList, key int64) core.Step {
+	return s.removeStep(key)
+}
+
+// SkipListContains looks key up in s, writing the verdict to found.
+func SkipListContains(s *SkipList, key int64, found *bool) core.Step {
+	return func(tx *core.Txn, _ core.State) error {
+		_, updateNodes, err := s.descend(tx, key)
+		if err != nil {
+			return err
+		}
+		*found = false
+		nextID := updateNodes[0].Forward[0]
+		if nextID == "" {
+			return nil
+		}
+		next, err := s.getNode(tx, nextID)
+		if err != nil {
+			return err
+		}
+		*found = next.Key == key
+		return nil
+	}
+}
+
+// BSTInsert inserts key into b (no-op if present).
+func BSTInsert(b *BST, key int64) core.Step {
+	return b.insertStep(key, b.newNodeID())
+}
+
+// BSTRemove removes key from b (no-op if absent).
+func BSTRemove(b *BST, key int64) core.Step {
+	return b.removeStep(key)
+}
+
+// BSTContains looks key up in b, writing the verdict to found.
+func BSTContains(b *BST, key int64, found *bool) core.Step {
+	return func(tx *core.Txn, _ core.State) error {
+		cur, err := b.rootOf(tx)
+		if err != nil {
+			return err
+		}
+		*found = false
+		for hops := 0; cur != ""; hops++ {
+			if hops > maxTraversal {
+				return errCyclicSnapshot
+			}
+			n, err := b.getNode(tx, cur)
+			if err != nil {
+				return err
+			}
+			if n.Key == key {
+				*found = true
+				return nil
+			}
+			if key < n.Key {
+				cur = n.L
+			} else {
+				cur = n.R
+			}
+		}
+		return nil
+	}
+}
+
+// RBTreeInsert inserts key into r (no-op if present).
+func RBTreeInsert(r *RBTree, key int64) core.Step {
+	newID := r.newNodeID()
+	return r.opStep(func(s rbStore) error { return rbInsert(s, key, newID) })
+}
+
+// RBTreeRemove removes key from r (no-op if absent).
+func RBTreeRemove(r *RBTree, key int64) core.Step {
+	return r.opStep(func(s rbStore) error { return rbDelete(s, key) })
+}
+
+// RBTreeContains looks key up in r, writing the verdict to found.
+func RBTreeContains(r *RBTree, key int64, found *bool) core.Step {
+	return r.opStep(func(s rbStore) error {
+		ok, err := rbContains(s, key)
+		*found = ok
+		return err
+	})
+}
+
+// errDangling builds the shared dangling-pointer error.
+func errDangling(what string, id proto.ObjectID) error {
+	return &danglingError{what: what, id: id}
+}
+
+type danglingError struct {
+	what string
+	id   proto.ObjectID
+}
+
+func (e *danglingError) Error() string {
+	return e.what + ": dangling node " + string(e.id)
+}

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"qrdtm/internal/proto"
+)
+
+// collectKeys returns the tree's keys in order.
+func collectKeys(m *mapRBStore) ([]int64, error) {
+	var keys []int64
+	var walk func(id proto.ObjectID) error
+	walk = func(id proto.ObjectID) error {
+		if id == "" {
+			return nil
+		}
+		n, ok := m.nodes[id]
+		if !ok {
+			return fmt.Errorf("dangling %v", id)
+		}
+		if err := walk(n.L); err != nil {
+			return err
+		}
+		keys = append(keys, n.Key)
+		return walk(n.R)
+	}
+	if err := walk(m.rootID); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+func TestRBInsertAscending(t *testing.T) {
+	m := newMapRBStore()
+	for i := int64(0); i < 200; i++ {
+		if err := rbInsert(m, i, proto.ObjectID(fmt.Sprintf("n%d", i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if err := rbCheck(m); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	keys, err := collectKeys(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 200 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("keys out of order")
+	}
+}
+
+func TestRBDeleteAll(t *testing.T) {
+	m := newMapRBStore()
+	const n = 150
+	for i := int64(0); i < n; i++ {
+		if err := rbInsert(m, i, proto.ObjectID(fmt.Sprintf("n%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := rand.Perm(n)
+	for step, k := range order {
+		if err := rbDelete(m, int64(k)); err != nil {
+			t.Fatalf("delete %d: %v", k, err)
+		}
+		if err := rbCheck(m); err != nil {
+			t.Fatalf("after delete %d (step %d): %v", k, step, err)
+		}
+	}
+	keys, err := collectKeys(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("tree not empty: %v", keys)
+	}
+	if m.rootID != "" {
+		t.Fatalf("root pointer not cleared: %v", m.rootID)
+	}
+}
+
+func TestRBDeleteAbsentIsNoop(t *testing.T) {
+	m := newMapRBStore()
+	for i := int64(0); i < 20; i += 2 {
+		if err := rbInsert(m, i, proto.ObjectID(fmt.Sprintf("n%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rbDelete(m, 7); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := collectKeys(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 10 {
+		t.Fatalf("no-op delete changed size: %d", len(keys))
+	}
+}
+
+func TestRBInsertDuplicateIsNoop(t *testing.T) {
+	m := newMapRBStore()
+	if err := rbInsert(m, 5, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rbInsert(m, 5, "b"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := collectKeys(m)
+	if len(keys) != 1 {
+		t.Fatalf("duplicate insert grew the tree: %v", keys)
+	}
+	if _, ok := m.nodes["b"]; ok {
+		t.Fatal("duplicate insert materialized a node")
+	}
+}
+
+// TestRBAgainstModel property-tests random insert/delete/contains sequences
+// against a map model, checking all red-black invariants after every
+// operation.
+func TestRBAgainstModel(t *testing.T) {
+	prop := func(seed uint64, opsRaw []uint16) bool {
+		m := newMapRBStore()
+		model := make(map[int64]bool)
+		idSeq := 0
+		for _, raw := range opsRaw {
+			key := int64(raw % 64)
+			switch (raw / 64) % 3 {
+			case 0:
+				idSeq++
+				if err := rbInsert(m, key, proto.ObjectID(fmt.Sprintf("q%d", idSeq))); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				model[key] = true
+			case 1:
+				if err := rbDelete(m, key); err != nil {
+					t.Logf("delete: %v", err)
+					return false
+				}
+				delete(model, key)
+			case 2:
+				got, err := rbContains(m, key)
+				if err != nil || got != model[key] {
+					t.Logf("contains(%d) = %v, want %v (err %v)", key, got, model[key], err)
+					return false
+				}
+			}
+			if err := rbCheck(m); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		keys, err := collectKeys(m)
+		if err != nil {
+			return false
+		}
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBSetupProducesValidTree(t *testing.T) {
+	w := NewRBTree("t")
+	p := Params{Objects: 256, Ops: 1, ReadRatio: 0}
+	copies := w.Setup(p, rand.New(rand.NewPCG(1, 2)))
+	read := oracleFromCopies(copies)
+	if err := w.Verify(p, read); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracleFromCopies builds a read oracle over a static object set.
+func oracleFromCopies(copies []proto.ObjectCopy) Oracle {
+	m := make(map[proto.ObjectID]proto.Value, len(copies))
+	for _, c := range copies {
+		m[c.ID] = c.Val
+	}
+	return func(id proto.ObjectID) (proto.Value, bool) {
+		v, ok := m[id]
+		return v, ok
+	}
+}
+
+func TestSetupsSatisfyVerify(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for _, name := range Names {
+		w, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Params{Objects: 100, Ops: 2, ReadRatio: 0.5}
+		if err := w.Verify(p, oracleFromCopies(w.Setup(p, rng))); err != nil {
+			t.Fatalf("%s: fresh setup fails its own Verify: %v", name, err)
+		}
+	}
+}
+
+func TestParamsCheck(t *testing.T) {
+	if err := (Params{Objects: 1, Ops: 1}).Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Params{
+		{Objects: 0, Ops: 1},
+		{Objects: 1, Ops: 0},
+		{Objects: 1, Ops: 1, ReadRatio: 1.5},
+		{Objects: 1, Ops: 1, ReadRatio: -0.1},
+	} {
+		if err := bad.Check(); err == nil {
+			t.Fatalf("Params %+v should be rejected", bad)
+		}
+	}
+}
+
+func TestUnknownWorkloadRejected(t *testing.T) {
+	if _, err := New("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}

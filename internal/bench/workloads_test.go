@@ -1,0 +1,174 @@
+package bench_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"qrdtm"
+	"qrdtm/internal/bench"
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// runWorkload drives a workload with concurrent clients on a simulated
+// cluster and verifies its invariants afterwards.
+func runWorkload(t *testing.T, name string, mode qrdtm.Mode, p bench.Params, clients, txnsPerClient int) {
+	t.Helper()
+	w, err := bench.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{
+		Nodes:       13,
+		Mode:        mode,
+		MaxRetries:  200000,
+		BackoffBase: 20 * time.Microsecond,
+		BackoffMax:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Load(w.Setup(p, rand.New(rand.NewPCG(1, uint64(len(name))))))
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rt := c.Runtime(proto.NodeID(cl % 13))
+			rng := rand.New(rand.NewPCG(uint64(cl), 42))
+			for i := 0; i < txnsPerClient; i++ {
+				st, steps := w.NewTxn(rng, p)
+				if _, err := rt.AtomicSteps(context.Background(), st, steps); err != nil {
+					t.Errorf("%s client %d txn %d: %v", name, cl, i, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	oracle := func(id proto.ObjectID) (proto.Value, bool) {
+		cp, err := c.ReadCommitted(context.Background(), id)
+		if err != nil || cp.Val == nil {
+			return nil, false
+		}
+		return cp.Val, true
+	}
+	if err := w.Verify(p, oracle); err != nil {
+		t.Fatalf("%s/%v verify: %v", name, mode, err)
+	}
+}
+
+func TestWorkloadsAllModes(t *testing.T) {
+	params := map[string]bench.Params{
+		"bank":     {Objects: 16, Ops: 3, ReadRatio: 0.3},
+		"hashmap":  {Objects: 64, Ops: 3, ReadRatio: 0.3},
+		"slist":    {Objects: 48, Ops: 2, ReadRatio: 0.3},
+		"rbtree":   {Objects: 48, Ops: 2, ReadRatio: 0.3},
+		"bst":      {Objects: 48, Ops: 2, ReadRatio: 0.3},
+		"vacation": {Objects: 24, Ops: 3, ReadRatio: 0.3},
+	}
+	for _, name := range bench.Names {
+		for _, mode := range []qrdtm.Mode{qrdtm.Flat, qrdtm.FlatRqv, qrdtm.Closed, qrdtm.Checkpoint} {
+			t.Run(fmt.Sprintf("%s/%v", name, mode), func(t *testing.T) {
+				t.Parallel()
+				runWorkload(t, name, mode, params[name], 3, 25)
+			})
+		}
+	}
+}
+
+func TestWorkloadsSingleClientDeterministicSize(t *testing.T) {
+	// With one client there is no concurrency; this isolates data-structure
+	// logic bugs from protocol races.
+	for _, name := range []string{"hashmap", "slist", "rbtree", "bst"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			runWorkload(t, name, qrdtm.Closed, bench.Params{Objects: 40, Ops: 4, ReadRatio: 0}, 1, 40)
+		})
+	}
+}
+
+func TestWorkloadReadOnlyTransactions(t *testing.T) {
+	// ReadRatio 1: every operation is a query; under Rqv modes these commit
+	// locally, and nothing may change.
+	for _, name := range bench.Names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, _ := bench.New(name)
+			p := bench.Params{Objects: 32, Ops: 3, ReadRatio: 1}
+			c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 13, Mode: qrdtm.Closed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Load(w.Setup(p, rand.New(rand.NewPCG(3, 4))))
+			rt := c.Runtime(2)
+			rng := rand.New(rand.NewPCG(5, 6))
+			for i := 0; i < 20; i++ {
+				st, steps := w.NewTxn(rng, p)
+				if _, err := rt.AtomicSteps(context.Background(), st, steps); err != nil {
+					t.Fatal(err)
+				}
+			}
+			m := c.Metrics().Snapshot()
+			if m.LocalCommits != 20 {
+				t.Fatalf("local commits = %d, want 20 (read-only under Rqv)", m.LocalCommits)
+			}
+		})
+	}
+}
+
+// TestLongTransactionsPartialAbortAdvantage checks the paper's core claim
+// at the metrics level: with long transactions under contention, closed
+// nesting converts full aborts into cheaper partial aborts.
+func TestLongTransactionsPartialAbortAdvantage(t *testing.T) {
+	run := func(mode qrdtm.Mode) core.MetricsSnapshot {
+		w, _ := bench.New("slist")
+		p := bench.Params{Objects: 64, Ops: 4, ReadRatio: 0.1}
+		c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{
+			Nodes: 13, Mode: mode,
+			MaxRetries:  200000,
+			BackoffBase: 20 * time.Microsecond,
+			BackoffMax:  2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Load(w.Setup(p, rand.New(rand.NewPCG(1, 1))))
+		var wg sync.WaitGroup
+		for cl := 0; cl < 4; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				rt := c.Runtime(proto.NodeID(cl))
+				rng := rand.New(rand.NewPCG(uint64(cl), 9))
+				for i := 0; i < 30; i++ {
+					st, steps := w.NewTxn(rng, p)
+					if _, err := rt.AtomicSteps(context.Background(), st, steps); err != nil {
+						t.Errorf("%v: %v", mode, err)
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		return c.Metrics().Snapshot()
+	}
+
+	closed := run(qrdtm.Closed)
+	if closed.Commits != 120 {
+		t.Fatalf("closed commits = %d, want 120", closed.Commits)
+	}
+	if closed.CTCommits == 0 {
+		t.Fatal("closed nesting produced no CT commits — steps are not running as subtransactions")
+	}
+	t.Logf("closed: %+v", closed)
+}

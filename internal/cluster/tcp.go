@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+// This file implements the real-network transport: replicas serve gob-framed
+// request/reply messages over TCP. It exists to demonstrate that the
+// protocols in internal/core and internal/server are not bound to the
+// simulator; cmd/qr-node and the integration tests run a genuine
+// multi-listener cluster over it.
+
+type tcpEnvelope struct {
+	From proto.NodeID
+	Req  any
+}
+
+type tcpResult struct {
+	Resp any
+	Err  string
+}
+
+// TCPServer serves one node's handler on a TCP listener.
+type TCPServer struct {
+	ID       proto.NodeID
+	handler  Handler
+	listener net.Listener
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// ListenTCP starts serving handler for node id on addr (e.g. "127.0.0.1:0").
+func ListenTCP(id proto.NodeID, addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ID: id, handler: h, listener: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (s *TCPServer) Close() error {
+	s.closed.Store(true)
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env tcpEnvelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		var res tcpResult
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					res = tcpResult{Err: fmt.Sprintf("handler panic: %v", r)}
+				}
+			}()
+			res.Resp = s.handler(env.From, env.Req)
+		}()
+		if err := enc.Encode(&res); err != nil {
+			return
+		}
+	}
+}
+
+// TCPTransport implements Transport over TCP with a small per-peer
+// connection pool. Destination addresses are fixed at construction.
+type TCPTransport struct {
+	peers map[proto.NodeID]string
+
+	mu    sync.Mutex
+	idle  map[proto.NodeID][]*tcpConn
+	stats Stats
+
+	dialTimeout time.Duration
+	messages    atomic.Uint64
+	calls       atomic.Uint64
+	failed      atomic.Uint64
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewTCPTransport builds a transport that reaches each node at the given
+// address.
+func NewTCPTransport(peers map[proto.NodeID]string) *TCPTransport {
+	p := make(map[proto.NodeID]string, len(peers))
+	for k, v := range peers {
+		p[k] = v
+	}
+	return &TCPTransport{
+		peers:       p,
+		idle:        make(map[proto.NodeID][]*tcpConn),
+		dialTimeout: 2 * time.Second,
+	}
+}
+
+// Stats returns transport counters (mirrors MemTransport.Stats).
+func (t *TCPTransport) Stats() Stats {
+	return Stats{
+		Messages: t.messages.Load(),
+		Calls:    t.calls.Load(),
+		Failed:   t.failed.Load(),
+	}
+}
+
+func (t *TCPTransport) get(to proto.NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if free := t.idle[to]; len(free) > 0 {
+		c := free[len(free)-1]
+		t.idle[to] = free[:len(free)-1]
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %v", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	if err != nil {
+		return nil, errors.Join(ErrNodeDown, err)
+	}
+	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (t *TCPTransport) put(to proto.NodeID, c *tcpConn) {
+	t.mu.Lock()
+	t.idle[to] = append(t.idle[to], c)
+	t.mu.Unlock()
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
+	t.calls.Add(1)
+	c, err := t.get(to)
+	if err != nil {
+		t.failed.Add(1)
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	t.messages.Add(1)
+	if err := c.enc.Encode(&tcpEnvelope{From: from, Req: req}); err != nil {
+		c.conn.Close()
+		t.failed.Add(1)
+		return nil, errors.Join(ErrNodeDown, err)
+	}
+	var res tcpResult
+	if err := c.dec.Decode(&res); err != nil {
+		c.conn.Close()
+		t.failed.Add(1)
+		return nil, errors.Join(ErrNodeDown, err)
+	}
+	t.messages.Add(1)
+	t.put(to, c)
+	if res.Err != "" {
+		return nil, errors.New(res.Err)
+	}
+	return res.Resp, nil
+}
+
+// Close drops all pooled connections.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, free := range t.idle {
+		for _, c := range free {
+			c.conn.Close()
+		}
+	}
+	t.idle = make(map[proto.NodeID][]*tcpConn)
+}

@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+type tcpPing struct {
+	N int
+}
+
+type tcpPong struct {
+	N int
+}
+
+func init() {
+	gob.Register(tcpPing{})
+	gob.Register(tcpPong{})
+}
+
+func startTCPPair(t *testing.T) (*TCPServer, *TCPTransport) {
+	t.Helper()
+	srv, err := ListenTCP(1, "127.0.0.1:0", func(from proto.NodeID, req any) any {
+		switch m := req.(type) {
+		case tcpPing:
+			return tcpPong{N: m.N + 1}
+		case proto.ReadReq:
+			return proto.ReadRep{OK: true, Copy: proto.ObjectCopy{ID: m.Obj, Version: 3, Val: proto.Int64(7)}}
+		default:
+			panic(fmt.Sprintf("unexpected %T", req))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	tr := NewTCPTransport(map[proto.NodeID]string{1: srv.Addr()})
+	t.Cleanup(tr.Close)
+	return srv, tr
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	_, tr := startTCPPair(t)
+	resp, err := tr.Call(context.Background(), 0, 1, tcpPing{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(tcpPong).N != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if st := tr.Stats(); st.Calls != 1 || st.Messages != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTCPCarriesProtocolMessages(t *testing.T) {
+	_, tr := startTCPPair(t)
+	resp, err := tr.Call(context.Background(), 0, 1, proto.ReadReq{Txn: 5, Obj: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resp.(proto.ReadRep)
+	if !rep.OK || rep.Copy.Version != 3 || rep.Copy.Val.(proto.Int64) != 7 {
+		t.Fatalf("rep = %+v", rep)
+	}
+}
+
+func TestTCPConnectionReuse(t *testing.T) {
+	_, tr := startTCPPair(t)
+	for i := 0; i < 20; i++ {
+		if _, err := tr.Call(context.Background(), 0, 1, tcpPing{N: i}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	_, tr := startTCPPair(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				resp, err := tr.Call(context.Background(), 0, 1, tcpPing{N: i*100 + j})
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if resp.(tcpPong).N != i*100+j+1 {
+					t.Errorf("wrong response %+v", resp)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	tr := NewTCPTransport(nil)
+	if _, err := tr.Call(context.Background(), 0, 7, tcpPing{}); err == nil {
+		t.Fatal("expected error for unknown peer")
+	}
+}
+
+func TestTCPDeadPeerIsNodeDown(t *testing.T) {
+	srv, tr := startTCPPair(t)
+	_ = srv.Close()
+	// Existing pooled connections die, fresh dials are refused; either way
+	// the caller sees ErrNodeDown semantics.
+	_, err := tr.Call(context.Background(), 0, 1, tcpPing{})
+	if err == nil {
+		t.Fatal("expected failure calling a closed server")
+	}
+}
+
+func TestTCPHandlerPanicIsReportedNotFatal(t *testing.T) {
+	srv, err := ListenTCP(2, "127.0.0.1:0", func(_ proto.NodeID, _ any) any {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{2: srv.Addr()})
+	defer tr.Close()
+	if _, err := tr.Call(context.Background(), 0, 2, tcpPing{}); err == nil {
+		t.Fatal("expected handler panic to surface as an error")
+	}
+}
+
+func TestTCPContextDeadline(t *testing.T) {
+	srv, err := ListenTCP(3, "127.0.0.1:0", func(_ proto.NodeID, req any) any {
+		time.Sleep(time.Second)
+		return req
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{3: srv.Addr()})
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := tr.Call(ctx, 0, 3, tcpPing{}); err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if time.Since(start) > 700*time.Millisecond {
+		t.Fatal("deadline was not honoured")
+	}
+}

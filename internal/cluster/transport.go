@@ -1,0 +1,364 @@
+// Package cluster provides the message-passing substrate the DTM protocols
+// run on: a Transport abstraction, an in-memory implementation that
+// simulates a metric-space network (configurable latency, per-node service
+// serialization, message accounting, crash-failure injection), and a TCP
+// implementation for running a real multi-process cluster.
+//
+// The paper's testbed is a 40-node cluster with ~30 ms round trips for
+// quorum multicasts and ~5 ms for unicasts. The in-memory transport keeps
+// the *ratios* of those costs while scaling the absolute values down so that
+// full parameter sweeps run in seconds.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+// ErrNodeDown is returned by Call when the destination node has crashed (or,
+// over TCP, is unreachable).
+var ErrNodeDown = errors.New("cluster: node down")
+
+// Handler processes one request on behalf of a node and returns the reply.
+// Handlers must be safe for concurrent use.
+type Handler func(from proto.NodeID, req any) any
+
+// Transport delivers request/reply messages between nodes.
+type Transport interface {
+	// Call sends req from node "from" to node "to" and waits for the reply.
+	Call(ctx context.Context, from, to proto.NodeID, req any) (any, error)
+}
+
+// Reply is the outcome of one leg of a multicast.
+type Reply struct {
+	Node proto.NodeID
+	Resp any
+	Err  error
+}
+
+// Multicast sends req to every node in nodes in parallel and collects all
+// replies. The quorum protocols need every reply (reads pick the highest
+// version; commits need unanimity), so Multicast always waits for all legs.
+func Multicast(ctx context.Context, t Transport, from proto.NodeID, nodes []proto.NodeID, req any) []Reply {
+	replies := make([]Reply, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n proto.NodeID) {
+			defer wg.Done()
+			resp, err := t.Call(ctx, from, n, req)
+			replies[i] = Reply{Node: n, Resp: resp, Err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	return replies
+}
+
+// LatencyModel yields the one-way message delay between two nodes. A Call
+// pays the delay twice (request plus reply).
+type LatencyModel interface {
+	OneWay(from, to proto.NodeID) time.Duration
+}
+
+// ZeroLatency delivers messages instantly. Unit tests use it so protocol
+// logic can be exercised without wall-clock cost.
+type ZeroLatency struct{}
+
+// OneWay implements LatencyModel.
+func (ZeroLatency) OneWay(_, _ proto.NodeID) time.Duration { return 0 }
+
+// UniformLatency applies a base one-way delay plus uniform jitter in
+// [0, Jitter) to every message, local calls included.
+type UniformLatency struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+// OneWay implements LatencyModel.
+func (l UniformLatency) OneWay(_, _ proto.NodeID) time.Duration {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(rand.Int64N(int64(l.Jitter)))
+	}
+	return d
+}
+
+// TreeMetricLatency models the cc-DTM metric-space assumption: the delay
+// between two nodes is PerHop times their distance in the logical ternary
+// tree (hops to the lowest common ancestor and back down), plus jitter.
+// Nodes at distance zero (self-calls) still pay Local.
+type TreeMetricLatency struct {
+	PerHop time.Duration
+	Local  time.Duration
+	Jitter time.Duration
+}
+
+// OneWay implements LatencyModel.
+func (l TreeMetricLatency) OneWay(from, to proto.NodeID) time.Duration {
+	d := l.Local + time.Duration(treeDistance(int(from), int(to)))*l.PerHop
+	if l.Jitter > 0 {
+		d += time.Duration(rand.Int64N(int64(l.Jitter)))
+	}
+	return d
+}
+
+// treeDistance counts edges between heap-ordered ternary tree positions a
+// and b (children of i are 3i+1..3i+3).
+func treeDistance(a, b int) int {
+	da, db := treeDepth(a), treeDepth(b)
+	dist := 0
+	for da > db {
+		a = (a - 1) / 3
+		da--
+		dist++
+	}
+	for db > da {
+		b = (b - 1) / 3
+		db--
+		dist++
+	}
+	for a != b {
+		a = (a - 1) / 3
+		b = (b - 1) / 3
+		dist += 2
+	}
+	return dist
+}
+
+func treeDepth(i int) int {
+	d := 0
+	for i > 0 {
+		i = (i - 1) / 3
+		d++
+	}
+	return d
+}
+
+// Stats is a snapshot of transport-level accounting.
+type Stats struct {
+	Messages uint64 // every request and every reply counts as one message
+	Calls    uint64 // request/reply pairs
+	Failed   uint64 // calls that returned ErrNodeDown
+}
+
+// MemTransport is the in-process simulated network. Every registered node is
+// served by its Handler; Call optionally serializes each sender's outgoing
+// transmissions (so a k-node multicast pays ~k transmit slots, reproducing
+// the multicast-vs-unicast cost gap of the paper's JGroups testbed), applies
+// the latency model on both legs, optionally serializes requests per
+// destination node (modelling a replica's bounded service capacity), counts
+// messages, and honours crash-failure injection.
+//
+// Timing granularity: the simulator sleeps, and the platform's sleep
+// quantum (~1 ms on a stock Linux tick) is the effective time unit —
+// configure delays in milliseconds, not microseconds.
+type MemTransport struct {
+	latency     LatencyModel
+	txTime      time.Duration
+	serviceTime time.Duration
+	failTimeout time.Duration
+
+	mu       sync.RWMutex
+	handlers map[proto.NodeID]Handler
+	down     map[proto.NodeID]bool
+	service  map[proto.NodeID]*sync.Mutex
+	senders  map[proto.NodeID]*sync.Mutex
+
+	messages atomic.Uint64
+	calls    atomic.Uint64
+	failed   atomic.Uint64
+}
+
+// MemOption configures a MemTransport.
+type MemOption func(*MemTransport)
+
+// WithLatency sets the latency model (default ZeroLatency).
+func WithLatency(l LatencyModel) MemOption {
+	return func(t *MemTransport) { t.latency = l }
+}
+
+// WithServiceTime serializes request processing per destination node with
+// the given per-request service delay, modelling a replica's bounded
+// capacity. Zero (the default) disables serialization entirely.
+func WithServiceTime(d time.Duration) MemOption {
+	return func(t *MemTransport) { t.serviceTime = d }
+}
+
+// WithTxTime serializes each sender's outgoing messages with the given
+// per-message transmission delay. This is what makes quorum multicasts
+// proportionally more expensive than unicasts, as in the paper's testbed
+// (~30 ms quorum multicast vs ~5 ms unicast). Zero (the default) disables
+// sender serialization.
+func WithTxTime(d time.Duration) MemOption {
+	return func(t *MemTransport) { t.txTime = d }
+}
+
+// WithFailTimeout sets how long a call to a crashed node blocks before
+// ErrNodeDown is returned, modelling failure detection by timeout
+// (default 1 ms).
+func WithFailTimeout(d time.Duration) MemOption {
+	return func(t *MemTransport) { t.failTimeout = d }
+}
+
+// NewMemTransport builds an empty in-memory network.
+func NewMemTransport(opts ...MemOption) *MemTransport {
+	t := &MemTransport{
+		latency:     ZeroLatency{},
+		failTimeout: time.Millisecond,
+		handlers:    make(map[proto.NodeID]Handler),
+		down:        make(map[proto.NodeID]bool),
+		service:     make(map[proto.NodeID]*sync.Mutex),
+		senders:     make(map[proto.NodeID]*sync.Mutex),
+	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Register attaches a node's handler to the network. Registering the same
+// node twice replaces its handler.
+func (t *MemTransport) Register(id proto.NodeID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+	if _, ok := t.service[id]; !ok {
+		t.service[id] = &sync.Mutex{}
+	}
+}
+
+// Fail crashes a node: subsequent calls to it fail with ErrNodeDown after
+// the failure-detection timeout.
+func (t *MemTransport) Fail(id proto.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[id] = true
+}
+
+// Recover brings a crashed node back. Its store still holds whatever it had
+// before the crash (crash-recovery semantics); the quorum intersection
+// property makes stale state harmless.
+func (t *MemTransport) Recover(id proto.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, id)
+}
+
+// Down reports whether a node is currently crashed.
+func (t *MemTransport) Down(id proto.NodeID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.down[id]
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *MemTransport) Stats() Stats {
+	return Stats{
+		Messages: t.messages.Load(),
+		Calls:    t.calls.Load(),
+		Failed:   t.failed.Load(),
+	}
+}
+
+// ResetStats zeroes the transport counters (used between experiment phases
+// so that benchmark population traffic is not charged to the run).
+func (t *MemTransport) ResetStats() {
+	t.messages.Store(0)
+	t.calls.Store(0)
+	t.failed.Store(0)
+}
+
+// Call implements Transport.
+func (t *MemTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
+	t.calls.Add(1)
+	t.messages.Add(1) // request leg
+
+	// Sender-side transmission: one message at a time per sender.
+	if t.txTime > 0 {
+		sm := t.senderMu(from)
+		sm.Lock()
+		err := sleepCtx(ctx, t.txTime)
+		sm.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sleepCtx(ctx, t.latency.OneWay(from, to)); err != nil {
+		return nil, err
+	}
+
+	t.mu.RLock()
+	h, ok := t.handlers[to]
+	down := t.down[to]
+	svc := t.service[to]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: no handler for %v", to)
+	}
+	if down {
+		t.failed.Add(1)
+		if err := sleepCtx(ctx, t.failTimeout); err != nil {
+			return nil, err
+		}
+		return nil, ErrNodeDown
+	}
+
+	var resp any
+	if t.serviceTime > 0 && svc != nil {
+		// The replica serves one request at a time; holding the lock
+		// across the sleep is the queueing model.
+		svc.Lock()
+		err := sleepCtx(ctx, t.serviceTime)
+		if err == nil {
+			resp = h(from, req)
+		}
+		svc.Unlock()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		resp = h(from, req)
+	}
+
+	t.messages.Add(1) // reply leg
+	if err := sleepCtx(ctx, t.latency.OneWay(to, from)); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (t *MemTransport) senderMu(from proto.NodeID) *sync.Mutex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.senders[from]
+	if !ok {
+		m = &sync.Mutex{}
+		t.senders[from] = m
+	}
+	return m
+}
+
+// sleepCtx sleeps for d unless the context is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+
+	"qrdtm/internal/proto"
+)
+
+// This file implements the composition constructs that closed nesting
+// enables — the reason Harris et al.'s "Composable Memory Transactions"
+// (which the paper cites as the motivation for partial rollback) argue
+// closed nesting matters: alternatives can be tried and discarded without
+// poisoning the enclosing transaction.
+
+// ErrBranchFailed is returned by an OrElse branch to signal "this
+// alternative does not apply, try the next one". The branch's buffered
+// reads and writes are discarded.
+var ErrBranchFailed = errors.New("core: orElse branch failed")
+
+// ErrNeedsClosedNesting is returned by OrElse outside Closed mode: without
+// subtransaction isolation a failed branch's writes could not be discarded.
+var ErrNeedsClosedNesting = errors.New("core: OrElse requires Closed (QR-CN) mode")
+
+// OrElse runs branches in order as closed-nested subtransactions, Harris
+// et al.'s orElse composition: the first branch to succeed commits (into
+// the parent); a branch returning ErrBranchFailed is rolled back — its
+// footprint discarded — and the next branch runs. Any other error aborts
+// the whole construct. Conflict-driven partial aborts retry the *same*
+// branch, exactly like Nested.
+//
+// If every branch fails, the last ErrBranchFailed is returned.
+func (tx *Txn) OrElse(branches ...func(*Txn) error) error {
+	if tx.rt.mode != Closed {
+		return ErrNeedsClosedNesting
+	}
+	if len(branches) == 0 {
+		return nil
+	}
+	err := error(ErrBranchFailed)
+	for _, b := range branches {
+		err = tx.Nested(b)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrBranchFailed) {
+			return err
+		}
+	}
+	return err
+}
+
+// RequestCheckpoint asks the engine to create a checkpoint before the next
+// step regardless of the footprint threshold — the paper's pre-defined
+// criterion generalized to Herlihy & Koskinen's programmer-placed
+// checkpoints. Outside Checkpoint mode (or outside a step program) it is a
+// no-op.
+func (tx *Txn) RequestCheckpoint() {
+	if tx.rt.mode == Checkpoint && tx.depth == 0 {
+		tx.chkRequested = true
+	}
+}
+
+// CheckpointEpoch reports the current checkpoint epoch of a checkpointed
+// transaction (0 before the first checkpoint; proto.NoChk in other modes).
+func (tx *Txn) CheckpointEpoch() int {
+	if tx.rt.mode != Checkpoint {
+		return proto.NoChk
+	}
+	return tx.chkEpoch
+}

@@ -1,0 +1,280 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+func TestOrElseFirstBranchWins(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1})
+	mustAtomic(t, tc.runtime(0), func(tx *core.Txn) error {
+		return tx.OrElse(
+			func(ct *core.Txn) error { return ct.Write("a", proto.Int64(10)) },
+			func(ct *core.Txn) error { return ct.Write("a", proto.Int64(20)) },
+		)
+	})
+	if _, got := tc.committed("a"); got != 10 {
+		t.Fatalf("a = %d, want first branch's 10", got)
+	}
+}
+
+func TestOrElseFailedBranchIsDiscarded(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2})
+	mustAtomic(t, tc.runtime(0), func(tx *core.Txn) error {
+		err := tx.OrElse(
+			func(ct *core.Txn) error {
+				// Buffer writes, then bail: none of this may survive.
+				if err := ct.Write("a", proto.Int64(111)); err != nil {
+					return err
+				}
+				if err := ct.Write("b", proto.Int64(222)); err != nil {
+					return err
+				}
+				return core.ErrBranchFailed
+			},
+			func(ct *core.Txn) error { return ct.Write("b", proto.Int64(20)) },
+		)
+		if err != nil {
+			return err
+		}
+		// The failed branch's write to "a" must be invisible even inside
+		// the transaction.
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if int64(v.(proto.Int64)) != 1 {
+			t.Fatalf("failed branch leaked: a = %v", v)
+		}
+		return nil
+	})
+	if _, got := tc.committed("a"); got != 1 {
+		t.Fatalf("a = %d, want untouched 1", got)
+	}
+	if _, got := tc.committed("b"); got != 20 {
+		t.Fatalf("b = %d, want second branch's 20", got)
+	}
+}
+
+func TestOrElseAllBranchesFail(t *testing.T) {
+	tc := newTestCluster(t, 4, core.Closed)
+	err := tc.runtime(0).Atomic(context.Background(), func(tx *core.Txn) error {
+		return tx.OrElse(
+			func(*core.Txn) error { return core.ErrBranchFailed },
+			func(*core.Txn) error { return core.ErrBranchFailed },
+		)
+	})
+	if !errors.Is(err, core.ErrBranchFailed) {
+		t.Fatalf("err = %v, want ErrBranchFailed", err)
+	}
+}
+
+func TestOrElseOtherErrorsPropagate(t *testing.T) {
+	tc := newTestCluster(t, 4, core.Closed)
+	boom := errors.New("boom")
+	err := tc.runtime(0).Atomic(context.Background(), func(tx *core.Txn) error {
+		return tx.OrElse(
+			func(*core.Txn) error { return boom },
+			func(ct *core.Txn) error { return ct.Write("x", proto.Int64(1)) },
+		)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom (not branch fallthrough)", err)
+	}
+}
+
+func TestOrElseRequiresClosedMode(t *testing.T) {
+	tc := newTestCluster(t, 4, core.Flat)
+	err := tc.runtime(0).Atomic(context.Background(), func(tx *core.Txn) error {
+		return tx.OrElse(func(*core.Txn) error { return nil })
+	})
+	if !errors.Is(err, core.ErrNeedsClosedNesting) {
+		t.Fatalf("err = %v, want ErrNeedsClosedNesting", err)
+	}
+}
+
+func TestOrElseEmptyIsNoop(t *testing.T) {
+	tc := newTestCluster(t, 4, core.Closed)
+	mustAtomic(t, tc.runtime(0), func(tx *core.Txn) error {
+		return tx.OrElse()
+	})
+}
+
+func TestRequestCheckpointForcesEpoch(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Checkpoint)
+	tc.chkEvery = 1000 // threshold never fires on its own
+	tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2, "c": 3})
+	rt1, rt2 := tc.runtime(5), tc.runtime(9)
+
+	runs := [3]int{}
+	injected := false
+	steps := []core.Step{
+		func(tx *core.Txn, _ core.State) error {
+			runs[0]++
+			_ = readInt(t, tx, "a")
+			tx.RequestCheckpoint() // manual checkpoint after this step
+			return nil
+		},
+		func(tx *core.Txn, _ core.State) error {
+			runs[1]++
+			_ = readInt(t, tx, "b")
+			if !injected {
+				injected = true
+				mustAtomic(t, rt2, func(tx2 *core.Txn) error {
+					return tx2.Write("b", proto.Int64(20))
+				})
+			}
+			return nil
+		},
+		func(tx *core.Txn, _ core.State) error {
+			runs[2]++
+			c := readInt(t, tx, "c")
+			return tx.Write("out", proto.Int64(c))
+		},
+	}
+	if _, err := rt1.AtomicSteps(context.Background(), core.NoState{}, steps); err != nil {
+		t.Fatal(err)
+	}
+	// The manual checkpoint after step 0 means the stale "b" (epoch 1)
+	// rolls back to the checkpoint, not to the beginning.
+	if runs[0] != 1 {
+		t.Fatalf("step0 ran %d times, want 1 (manual checkpoint must anchor the rollback)", runs[0])
+	}
+	if runs[1] != 2 {
+		t.Fatalf("step1 ran %d times, want 2", runs[1])
+	}
+	if got := tc.metrics.Checkpoints.Load(); got != 1 {
+		t.Fatalf("checkpoints = %d, want 1 (manual only)", got)
+	}
+}
+
+func TestRequestCheckpointNoopOutsideCheckpointMode(t *testing.T) {
+	tc := newTestCluster(t, 4, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1})
+	mustAtomic(t, tc.runtime(0), func(tx *core.Txn) error {
+		tx.RequestCheckpoint()
+		if tx.CheckpointEpoch() != proto.NoChk {
+			t.Fatalf("CheckpointEpoch = %d outside Checkpoint mode", tx.CheckpointEpoch())
+		}
+		return nil
+	})
+	if got := tc.metrics.Checkpoints.Load(); got != 0 {
+		t.Fatalf("checkpoints = %d", got)
+	}
+}
+
+func TestLockWaitRetriesRideOutCommitWindow(t *testing.T) {
+	// A reader whose footprint is locked by an in-flight commit aborts
+	// under the paper's policy but survives with LockWaitRetries — provided
+	// the lock clears to the *same* version (the committer aborted).
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2})
+
+	// Manually hold a's lock on the read-quorum replica (node 0), as a
+	// prepare by some other transaction would.
+	if !tc.replicas[0].Store().Prepare(999, nil, []proto.ObjectCopy{{ID: "a", Version: 1, Val: proto.Int64(1)}}) {
+		t.Fatal("manual prepare failed")
+	}
+	released := false
+
+	// Without lock waits: the read of b (validating a) must abort.
+	rtStrict := tc.runtime(5)
+	attempts := 0
+	mustAtomic(t, rtStrict, func(tx *core.Txn) error {
+		attempts++
+		_ = readInt(t, tx, "a")
+		if attempts >= 2 && !released {
+			released = true
+			tc.replicas[0].Store().Abort(999, []proto.ObjectID{"a"})
+		}
+		_ = readInt(t, tx, "b")
+		return nil
+	})
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (lock denial must abort without waits)", attempts)
+	}
+
+	// With lock waits: the reader waits out the window instead.
+	if !tc.replicas[0].Store().Prepare(998, nil, []proto.ObjectCopy{{ID: "a", Version: 1, Val: proto.Int64(1)}}) {
+		t.Fatal("manual prepare failed")
+	}
+	waiter, err := core.NewRuntime(core.Config{
+		Node:      6,
+		Transport: tc.trans,
+		Quorums:   core.TreeQuorums{Tree: tc.tree},
+		Mode:      core.Closed,
+		IDs:       tc.ids, Metrics: tc.metrics,
+		LockWaitRetries: 5,
+		BackoffBase:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Release the lock once the reader has started waiting on it.
+		base := tc.metrics.LockWaits.Load()
+		for tc.metrics.LockWaits.Load() == base {
+			time.Sleep(100 * time.Microsecond)
+		}
+		tc.replicas[0].Store().Abort(998, []proto.ObjectID{"a"})
+	}()
+	attempts = 0
+	mustAtomic(t, waiter, func(tx *core.Txn) error {
+		attempts++
+		_ = readInt(t, tx, "a")
+		_ = readInt(t, tx, "b")
+		return nil
+	})
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (lock wait must ride out the window)", attempts)
+	}
+	if tc.metrics.LockWaits.Load() == 0 {
+		t.Fatal("expected LockWaits > 0")
+	}
+}
+
+func TestVersionConflictNeverWaits(t *testing.T) {
+	// LockWaitRetries must not delay aborts for committed newer versions.
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2})
+	waiter, err := core.NewRuntime(core.Config{
+		Node:      6,
+		Transport: tc.trans,
+		Quorums:   core.TreeQuorums{Tree: tc.tree},
+		Mode:      core.Closed,
+		IDs:       tc.ids, Metrics: tc.metrics,
+		LockWaitRetries: 5,
+		BackoffBase:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2 := tc.runtime(9)
+	injected := false
+	attempts := 0
+	mustAtomic(t, waiter, func(tx *core.Txn) error {
+		attempts++
+		_ = readInt(t, tx, "a")
+		if !injected {
+			injected = true
+			mustAtomic(t, rt2, func(tx2 *core.Txn) error {
+				return tx2.Write("a", proto.Int64(100))
+			})
+		}
+		_ = readInt(t, tx, "b")
+		return nil
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (version conflicts abort immediately)", attempts)
+	}
+	if tc.metrics.LockWaits.Load() != 0 {
+		t.Fatalf("LockWaits = %d, want 0", tc.metrics.LockWaits.Load())
+	}
+}

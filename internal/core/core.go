@@ -1,0 +1,295 @@
+// Package core implements the client side of QR-DTM: the transaction engine
+// that runs flat (QR), closed-nested (QR-CN) and checkpointed (QR-CHK)
+// transactions against a cluster of replicas (internal/server) reached
+// through a transport (internal/cluster) using tree quorums
+// (internal/quorum).
+//
+// The engine is the paper's primary contribution:
+//
+//   - Reads and writable-copy acquisitions go to the read quorum; the
+//     highest-versioned reply is the globally latest committed copy
+//     (1-copy equivalence via the quorum intersection property).
+//   - In every mode except Flat, each read piggybacks the transaction's
+//     accumulated footprint for read-quorum validation (Rqv): quorum nodes
+//     validate the footprint against their stores and deny the read if any
+//     entry is stale, naming the partial-abort target.
+//   - Closed-nested transactions (Txn.Nested) keep private read/write sets,
+//     commit locally by merging into the parent (no messages), and retry
+//     independently when the abort target is their own depth.
+//   - Checkpointed transactions snapshot their footprint and program state
+//     every CheckpointEvery objects and resume from the checkpoint named by
+//     a validation failure instead of restarting.
+//   - Root commits run a two-phase protocol over the write quorum; with Rqv
+//     enabled, read-only transactions commit locally with zero messages.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/proto"
+)
+
+// Mode selects the nesting/checkpointing protocol a Runtime executes.
+type Mode int
+
+const (
+	// Flat is the baseline QR protocol: inner transactions are flattened,
+	// no incremental validation, conflicts surface at commit time and abort
+	// the whole transaction.
+	Flat Mode = iota
+	// FlatRqv is an ablation: flat transactions with read-quorum validation
+	// on every read (early full aborts, read-only local commits).
+	FlatRqv
+	// Closed is QR-CN: closed nesting with Rqv and local subtransaction
+	// commits.
+	Closed
+	// Checkpoint is QR-CHK: automatic checkpoint creation with Rqv and
+	// partial rollback.
+	Checkpoint
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Flat:
+		return "flat"
+	case FlatRqv:
+		return "flat+rqv"
+	case Closed:
+		return "closed"
+	case Checkpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Rqv reports whether the mode performs read-quorum validation on reads.
+func (m Mode) Rqv() bool { return m != Flat }
+
+// Modes lists all protocol modes in presentation order.
+var Modes = []Mode{Flat, Closed, Checkpoint}
+
+// ErrUnavailable is returned when no quorum can be formed (too many nodes
+// down) or the transport cannot reach a required replica even after quorum
+// reconfiguration.
+var ErrUnavailable = errors.New("core: quorum unavailable")
+
+// ErrTooManyRetries is returned by the atomic runners when Config.MaxRetries
+// is exceeded.
+var ErrTooManyRetries = errors.New("core: transaction exceeded retry limit")
+
+// IDGen allocates globally unique transaction identifiers. One generator is
+// shared by all runtimes of a process; for multi-process (TCP) deployments,
+// seed disjoint ranges with NewIDGenAt.
+type IDGen struct {
+	next atomic.Uint64
+}
+
+// NewIDGen returns a generator starting at 1.
+func NewIDGen() *IDGen { return NewIDGenAt(1) }
+
+// NewIDGenAt returns a generator whose first issued ID is start.
+func NewIDGenAt(start uint64) *IDGen {
+	g := &IDGen{}
+	g.next.Store(start)
+	return g
+}
+
+// Next issues a fresh transaction ID.
+func (g *IDGen) Next() proto.TxnID {
+	return proto.TxnID(g.next.Add(1) - 1)
+}
+
+// QuorumProvider yields the read and write quorums a node should currently
+// use. Runtimes re-query it when a quorum member stops responding, which is
+// how the system reconfigures around failures.
+type QuorumProvider interface {
+	Quorums(node proto.NodeID) (read, write []proto.NodeID, err error)
+}
+
+// StaticQuorums is a QuorumProvider with fixed quorums (single-node tests
+// and tooling).
+type StaticQuorums struct {
+	Read  []proto.NodeID
+	Write []proto.NodeID
+}
+
+// Quorums implements QuorumProvider.
+func (s StaticQuorums) Quorums(proto.NodeID) ([]proto.NodeID, []proto.NodeID, error) {
+	return s.Read, s.Write, nil
+}
+
+// Config assembles a Runtime.
+type Config struct {
+	// Node is the identity of the node hosting this runtime's transactions.
+	Node proto.NodeID
+	// Transport reaches the replicas.
+	Transport cluster.Transport
+	// Quorums provides (and re-provides, after failures) this node's
+	// designated quorums.
+	Quorums QuorumProvider
+	// Mode selects the protocol (default Flat).
+	Mode Mode
+	// IDs allocates transaction ids; defaults to a fresh generator. Share
+	// one generator across all runtimes of a process.
+	IDs *IDGen
+	// Metrics receives this runtime's counters; defaults to a fresh
+	// Metrics. Share one instance across runtimes to aggregate.
+	Metrics *Metrics
+	// CheckpointEvery is the footprint growth (objects acquired) that
+	// triggers automatic checkpoint creation in Checkpoint mode.
+	// Default 2. The paper attributes QR-CHK's slowdown to checkpoints
+	// that are too fine; the ablation benchmark sweeps this.
+	CheckpointEvery int
+	// CheckpointCost is the simulated execution-state capture cost paid
+	// per checkpoint creation, standing in for the paper's Java
+	// Continuation capture (default 0: native Go snapshots are nearly
+	// free; experiments set one network quantum).
+	CheckpointCost time.Duration
+	// BackoffBase/BackoffMax bound the randomized exponential backoff
+	// applied to full (root) aborts. Partial aborts retry immediately, as
+	// in the paper. Defaults: 100µs base, 5ms max. Set BackoffBase < 0 to
+	// disable backoff.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// MaxRetries bounds attempts per root transaction; 0 means unlimited.
+	MaxRetries int
+	// LockWaitRetries is the contention-manager policy for reads denied
+	// only because of a pending commit's locks (no committed newer
+	// version): the read is retried up to this many times after a short
+	// wait before the denial escalates into an abort. 0 (the default, the
+	// paper's policy) aborts immediately.
+	LockWaitRetries int
+}
+
+// Runtime executes transactions for one node of the cluster. A Runtime is
+// safe for concurrent use: many goroutines may run Atomic simultaneously,
+// modelling multiple application threads on the node.
+type Runtime struct {
+	node    proto.NodeID
+	trans   cluster.Transport
+	qp      QuorumProvider
+	mode    Mode
+	ids     *IDGen
+	metrics *Metrics
+
+	chkEvery    int
+	chkCost     time.Duration
+	lockWaits   int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	maxRetries  int
+
+	mu     sync.RWMutex
+	readQ  []proto.NodeID
+	writeQ []proto.NodeID
+}
+
+// NewRuntime builds a Runtime and resolves its initial quorums.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("core: Config.Transport is required")
+	}
+	if cfg.Quorums == nil {
+		return nil, errors.New("core: Config.Quorums is required")
+	}
+	rt := &Runtime{
+		node:        cfg.Node,
+		trans:       cfg.Transport,
+		qp:          cfg.Quorums,
+		mode:        cfg.Mode,
+		ids:         cfg.IDs,
+		metrics:     cfg.Metrics,
+		chkEvery:    cfg.CheckpointEvery,
+		chkCost:     cfg.CheckpointCost,
+		lockWaits:   cfg.LockWaitRetries,
+		backoffBase: cfg.BackoffBase,
+		backoffMax:  cfg.BackoffMax,
+		maxRetries:  cfg.MaxRetries,
+	}
+	if rt.ids == nil {
+		rt.ids = NewIDGen()
+	}
+	if rt.metrics == nil {
+		rt.metrics = &Metrics{}
+	}
+	if rt.chkEvery <= 0 {
+		rt.chkEvery = 2
+	}
+	if rt.backoffBase == 0 {
+		rt.backoffBase = 100 * time.Microsecond
+	}
+	if rt.backoffMax == 0 {
+		rt.backoffMax = 5 * time.Millisecond
+	}
+	if err := rt.RefreshQuorums(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Node returns the hosting node's identity.
+func (rt *Runtime) Node() proto.NodeID { return rt.node }
+
+// Mode returns the runtime's protocol mode.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// Metrics returns the runtime's counter set.
+func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
+
+// RefreshQuorums re-queries the QuorumProvider, replacing the cached
+// quorums. It is called automatically when a quorum member stops responding.
+func (rt *Runtime) RefreshQuorums() error {
+	r, w, err := rt.qp.Quorums(rt.node)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	rt.mu.Lock()
+	rt.readQ = append([]proto.NodeID(nil), r...)
+	rt.writeQ = append([]proto.NodeID(nil), w...)
+	rt.mu.Unlock()
+	return nil
+}
+
+// quorums returns the cached quorums.
+func (rt *Runtime) quorums() (read, write []proto.NodeID) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.readQ, rt.writeQ
+}
+
+// ReadQuorumSize reports the current read quorum size (experiment output).
+func (rt *Runtime) ReadQuorumSize() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.readQ)
+}
+
+// WriteQuorumSize reports the current write quorum size.
+func (rt *Runtime) WriteQuorumSize() int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.writeQ)
+}
+
+// backoff sleeps a randomized exponential delay after a full abort.
+func (rt *Runtime) backoff(attempt int) {
+	if rt.backoffBase < 0 {
+		return
+	}
+	d := rt.backoffBase << uint(min(attempt, 12))
+	if d > rt.backoffMax {
+		d = rt.backoffMax
+	}
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(rand.Int64N(int64(d))) + rt.backoffBase/2)
+}

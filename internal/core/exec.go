@@ -1,0 +1,533 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/proto"
+)
+
+// Atomic runs body as a root transaction, retrying on conflict until it
+// commits, the context is cancelled, or body returns an error (which cancels
+// the transaction and is returned as-is).
+//
+// In Closed mode, body may call Txn.Nested to delimit closed-nested
+// subtransactions. In Checkpoint mode, plain Atomic cannot resume partially
+// — use AtomicSteps, which gives the engine the re-entry points it needs —
+// so conflicts restart the body from the beginning.
+//
+// Bodies may run multiple times; they must not have side effects outside
+// the transaction other than idempotent writes to caller state.
+func (rt *Runtime) Atomic(ctx context.Context, body func(*Txn) error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if rt.maxRetries > 0 && attempt >= rt.maxRetries {
+			return ErrTooManyRetries
+		}
+		tx := newRootTxn(rt, ctx)
+		aborted, err := rt.attemptRoot(tx, body)
+		if err != nil {
+			// The body may have committed open subtransactions before
+			// failing; undo them before surfacing the error.
+			if ferr := rt.finishOpen(tx, true); ferr != nil {
+				return errors.Join(err, ferr)
+			}
+			return err
+		}
+		if !aborted {
+			if ferr := rt.finishOpen(tx, false); ferr != nil {
+				return ferr
+			}
+			rt.metrics.Commits.Add(1)
+			return nil
+		}
+		if ferr := rt.finishOpen(tx, true); ferr != nil {
+			return ferr
+		}
+		rt.metrics.RootAborts.Add(1)
+		rt.backoff(attempt)
+	}
+}
+
+// attemptRoot runs one root attempt (body + commit), converting abort
+// signals into aborted == true.
+//
+// Flat transactions read without incremental validation, so a live
+// transaction can observe an inconsistent snapshot (mixed versions) and its
+// body may fail or even panic inside otherwise-correct application code — a
+// "zombie" in STM terms. Commit-time validation would have aborted it
+// anyway, so when a flat body errors or panics, the engine revalidates the
+// footprint against the read quorum: if the snapshot is stale, the attempt
+// becomes an ordinary abort-and-retry; only errors from a *valid* snapshot
+// are real. Rqv modes are opaque (every remote read revalidates), so their
+// errors always surface.
+func (rt *Runtime) attemptRoot(tx *Txn, body func(*Txn) error) (aborted bool, err error) {
+	defer recoverAbort(&aborted)
+	bodyErr := rt.runBody(tx, body)
+	if bodyErr != nil {
+		if errors.Is(bodyErr, errZombie) {
+			return true, nil // staleness already confirmed by runBody
+		}
+		// Engine errors (quorum unavailable, cancellation) are never
+		// zombie symptoms; only application errors warrant revalidation.
+		engineErr := errors.Is(bodyErr, ErrUnavailable) ||
+			errors.Is(bodyErr, context.Canceled) ||
+			errors.Is(bodyErr, context.DeadlineExceeded)
+		if !rt.mode.Rqv() && !engineErr && tx.snapshotStale() {
+			return true, nil
+		}
+		return false, bodyErr
+	}
+	return false, tx.commitRoot()
+}
+
+// runBody invokes the body, converting zombie panics of flat transactions
+// into errors so attemptRoot can route them through revalidation. Abort
+// signals and panics of consistent transactions pass through.
+func (rt *Runtime) runBody(tx *Txn, body func(*Txn) error) (err error) {
+	if rt.mode.Rqv() {
+		return body(tx)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := r.(abortSignal); ok {
+			panic(r)
+		}
+		if tx.snapshotStale() {
+			err = errZombie
+			return
+		}
+		panic(r)
+	}()
+	return body(tx)
+}
+
+var errZombie = errors.New("core: zombie transaction (inconsistent snapshot)")
+
+// snapshotStale asks the read quorum to validate the transaction's
+// footprint without fetching anything. It reports true — abort and retry —
+// when the footprint is stale or the quorum is unreachable.
+func (tx *Txn) snapshotStale() bool {
+	readQ, _ := tx.rt.quorums()
+	if len(readQ) == 0 {
+		return true
+	}
+	req := proto.ReadReq{Txn: tx.id, Depth: tx.depth, DataSet: tx.dataSet()}
+	if req.DataSet == nil {
+		req.DataSet = []proto.DataItem{}
+	}
+	tx.rt.metrics.ReadRequests.Add(1)
+	for _, rep := range cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req) {
+		if rep.Err != nil {
+			return true
+		}
+		if rr, ok := rep.Resp.(proto.ReadRep); !ok || !rr.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// recoverAbort converts a root-level abort signal into *aborted = true and
+// re-raises anything else.
+func recoverAbort(aborted *bool) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if sig, ok := r.(abortSignal); ok && sig.depth == 0 {
+		*aborted = true
+		return
+	}
+	panic(r)
+}
+
+// Nested runs body as a closed-nested subtransaction of tx. Outside Closed
+// mode the call is flattened: body runs inline on tx, reproducing the
+// paper's flat-nesting semantics where "the existence of transactions in
+// inner code is simply ignored".
+//
+// In Closed mode the subtransaction keeps private read/write sets; on
+// success they merge into tx locally (Algorithm 3 — no remote messages). A
+// validation failure whose abort target is the subtransaction retries only
+// body, immediately and without backoff, per the paper; targets above it
+// unwind further.
+func (tx *Txn) Nested(body func(*Txn) error) error {
+	if tx.rt.mode != Closed {
+		return body(tx)
+	}
+	child := tx.child()
+	for attempt := 0; ; attempt++ {
+		if err := tx.ctx.Err(); err != nil {
+			return err
+		}
+		if tx.rt.maxRetries > 0 && attempt >= tx.rt.maxRetries {
+			return ErrTooManyRetries
+		}
+		aborted, err := child.attemptCT(body)
+		if err != nil {
+			return err
+		}
+		if !aborted {
+			child.mergeToParent()
+			tx.rt.metrics.CTCommits.Add(1)
+			return nil
+		}
+		tx.rt.metrics.CTAborts.Add(1)
+		child.reset()
+		// Partial aborts retry immediately, as in the paper — there the
+		// ~30 ms quorum round trip paces the retry naturally. On a
+		// fast/simulated network an unpaced spin can livelock against a
+		// commit in progress, so persistent failures fall back to backoff.
+		if attempt >= immediateRetries {
+			tx.rt.backoff(attempt - immediateRetries)
+		}
+	}
+}
+
+// immediateRetries is how many partial-abort retries run without backoff
+// before the engine starts pacing them. One free retry covers the common
+// already-committed-writer case (the re-read simply fetches the new
+// version); anything more persistent is a commit in progress, and spinning
+// against its lock window only inflates abort counts.
+const immediateRetries = 1
+
+func (ct *Txn) attemptCT(body func(*Txn) error) (aborted bool, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if sig, ok := r.(abortSignal); ok && sig.depth == ct.depth {
+			aborted = true
+			return
+		}
+		panic(r)
+	}()
+	return false, body(ct)
+}
+
+// mergeToParent commits a closed-nested transaction locally: its read and
+// write sets move into the parent's (Algorithm 3). Merged entries are
+// re-owned at the parent's depth — once control returns to the parent, a
+// later invalidation of these objects can only be repaired by retrying the
+// parent (the subtransaction's scope has been left; Go, like Java, has no
+// way to re-enter it).
+func (ct *Txn) mergeToParent() {
+	p := ct.parent
+	for id, e := range ct.readset {
+		e.ownerDepth = p.depth
+		if _, inW := p.writeset[id]; !inW {
+			p.readset[id] = e
+		}
+	}
+	for id, e := range ct.writeset {
+		e.ownerDepth = p.depth
+		p.writeset[id] = e
+		delete(p.readset, id)
+	}
+}
+
+// commitRoot commits a root transaction: read-only transactions under Rqv
+// commit locally; everything else runs the two-phase protocol over the
+// write quorum. Conflicts raise a full abort (abortSignal panic); hard
+// failures (quorum unavailable) return an error.
+func (tx *Txn) commitRoot() error {
+	return tx.commit(nil, 0)
+}
+
+// commit is commitRoot extended with abstract-lock acquisition (open
+// nesting): absLocks are granted to owner as part of the prepare votes.
+func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
+	m := tx.rt.metrics
+	if len(absLocks) == 0 && len(tx.writeset) == 0 && tx.rt.mode == Closed {
+		// Every read was validated by the last Rqv round, so the read set
+		// is a consistent snapshot: commit without any remote message.
+		// Only QR-CN gets this: the paper defines QR-CHK's request-commit
+		// and commit as "exactly the same as flat nested transaction", and
+		// the FlatRqv ablation isolates early aborts, not commit savings.
+		m.LocalCommits.Add(1)
+		return nil
+	}
+
+	reads := make([]proto.DataItem, 0, len(tx.readset))
+	for _, e := range tx.readset {
+		reads = append(reads, proto.DataItem{
+			ID: e.copyv.ID, Version: e.copyv.Version,
+			OwnerDepth: e.ownerDepth, OwnerChk: e.ownerChk,
+		})
+	}
+	writes := make([]proto.ObjectCopy, 0, len(tx.writeset))
+	for _, e := range tx.writeset {
+		writes = append(writes, e.copyv.Clone())
+	}
+
+	_, writeQ := tx.rt.quorums()
+	if len(writeQ) == 0 {
+		return fmt.Errorf("%w: empty write quorum", ErrUnavailable)
+	}
+	m.CommitRequests.Add(1)
+	prep := proto.PrepareReq{Txn: tx.id, Reads: reads, Writes: writes, AbsLocks: absLocks, Owner: owner}
+	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, prep)
+
+	allOK := true
+	var callErr error
+	for _, rep := range replies {
+		if rep.Err != nil {
+			callErr = rep.Err
+			allOK = false
+			continue
+		}
+		pr, ok := rep.Resp.(proto.PrepareRep)
+		if !ok {
+			return fmt.Errorf("core: unexpected prepare reply %T from %v", rep.Resp, rep.Node)
+		}
+		if !pr.OK {
+			allOK = false
+		}
+	}
+
+	if !allOK {
+		// Release any locks (object or abstract) taken by nodes that voted
+		// yes. Abort is idempotent and only releases this transaction's
+		// own acquisitions.
+		if len(writes) > 0 || len(absLocks) > 0 {
+			dec := proto.DecideReq{Txn: tx.id, Commit: false, Writes: writes}
+			cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, dec)
+		}
+		if callErr != nil {
+			// A write-quorum member is down: reconfigure before retrying.
+			m.QuorumRefreshes.Add(1)
+			if err := tx.rt.RefreshQuorums(); err != nil {
+				return err
+			}
+		}
+		throwAbort(0, proto.NoChk)
+	}
+
+	if len(writes) > 0 || len(absLocks) > 0 {
+		installed := make([]proto.ObjectCopy, len(writes))
+		for i, w := range writes {
+			w.Version++
+			installed[i] = w
+		}
+		dec := proto.DecideReq{Txn: tx.id, Commit: true, Writes: installed}
+		// Crash-stop model: members that fail between prepare and decide
+		// never serve again, so their missed installs are harmless.
+		cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, dec)
+	}
+	return nil
+}
+
+// State is the program state a step-structured transaction carries between
+// steps. In Checkpoint mode the engine snapshots it at every checkpoint and
+// restores it on partial rollback, standing in for the paper's Java
+// continuations. CloneState must deep-copy.
+type State interface {
+	CloneState() State
+}
+
+// NoState is the State for step programs that keep everything in the
+// transactional objects themselves.
+type NoState struct{}
+
+// CloneState implements State.
+func (NoState) CloneState() State { return NoState{} }
+
+// Step is one re-entry-point-delimited unit of a step-structured
+// transaction. A step may run multiple times (retries and rollbacks), so it
+// must mutate st idempotently: plain assignments are safe, increments are
+// not.
+type Step func(tx *Txn, st State) error
+
+// AtomicSteps runs a step-structured transaction and returns the final
+// state. The same program executes under every mode:
+//
+//   - Flat/FlatRqv: all steps run in one flattened transaction; any
+//     conflict restarts from the first step.
+//   - Closed: each step is a closed-nested subtransaction (Txn.Nested).
+//   - Checkpoint: the engine snapshots (footprint, state, step index)
+//     whenever the footprint has grown by CheckpointEvery objects since the
+//     last checkpoint, and a conflict resumes from the checkpoint named by
+//     read-quorum validation.
+//
+// The caller's initial state is never mutated; each attempt starts from a
+// clone.
+func (rt *Runtime) AtomicSteps(ctx context.Context, initial State, steps []Step) (State, error) {
+	if initial == nil {
+		initial = NoState{}
+	}
+	if rt.mode == Checkpoint {
+		return rt.atomicCheckpointed(ctx, initial, steps)
+	}
+	var out State
+	err := rt.Atomic(ctx, func(tx *Txn) error {
+		st := initial.CloneState()
+		for _, s := range steps {
+			s := s
+			var stepErr error
+			if rt.mode == Closed {
+				stepErr = tx.Nested(func(ct *Txn) error { return s(ct, st) })
+			} else {
+				stepErr = s(tx, st)
+			}
+			if stepErr != nil {
+				return stepErr
+			}
+		}
+		out = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chkpoint is one saved execution state of a checkpointed transaction.
+type chkpoint struct {
+	step     int
+	state    State
+	readset  map[proto.ObjectID]*entry
+	writeset map[proto.ObjectID]*entry
+}
+
+func snapshotSets(src map[proto.ObjectID]*entry) map[proto.ObjectID]*entry {
+	out := make(map[proto.ObjectID]*entry, len(src))
+	for id, e := range src {
+		out[id] = e.clone()
+	}
+	return out
+}
+
+// atomicCheckpointed is the QR-CHK execution loop.
+func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps []Step) (State, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if rt.maxRetries > 0 && attempt >= rt.maxRetries {
+			return nil, ErrTooManyRetries
+		}
+		st, aborted, err := rt.checkpointedAttempt(ctx, initial, steps)
+		if err != nil {
+			return nil, err
+		}
+		if !aborted {
+			rt.metrics.Commits.Add(1)
+			return st, nil
+		}
+		rt.metrics.RootAborts.Add(1)
+		rt.backoff(attempt)
+	}
+}
+
+// checkpointedAttempt runs one full attempt with partial rollbacks handled
+// internally; aborted reports a commit-time conflict (full restart).
+func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps []Step) (st State, aborted bool, err error) {
+	tx := newRootTxn(rt, ctx)
+	st = initial.CloneState()
+	// Checkpoint 0 is the transaction's beginning: rolling back to it is a
+	// full-footprint discard but not a fresh attempt (no backoff, same id).
+	cps := []chkpoint{{
+		step:     0,
+		state:    st.CloneState(),
+		readset:  map[proto.ObjectID]*entry{},
+		writeset: map[proto.ObjectID]*entry{},
+	}}
+
+	i := 0
+	rollbacks := 0
+	for i < len(steps) {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		if i > 0 && (tx.footprint >= rt.chkEvery || tx.chkRequested) {
+			tx.chkRequested = false
+			cps = append(cps, chkpoint{
+				step:     i,
+				state:    st.CloneState(),
+				readset:  snapshotSets(tx.readset),
+				writeset: snapshotSets(tx.writeset),
+			})
+			tx.chkEpoch++
+			tx.footprint = 0
+			rt.metrics.Checkpoints.Add(1)
+			if rt.chkCost > 0 {
+				// Models the execution-state capture the paper's system
+				// pays per checkpoint (Java Continuations on a custom
+				// JVM); calibrated so contention-free overhead matches
+				// the paper's ~6% (see the chkovh experiment).
+				time.Sleep(rt.chkCost)
+			}
+		}
+		stepAborted, chk, stepErr := runStepRecover(tx, st, steps[i])
+		if stepErr != nil {
+			return nil, false, stepErr
+		}
+		if stepAborted {
+			if chk == proto.NoChk {
+				return nil, true, nil // full abort requested mid-execution
+			}
+			// Partial rollback: restore the named checkpoint and resume.
+			// Like CT retries, rollbacks are immediate until they become
+			// persistent (see immediateRetries).
+			rt.metrics.ChkRollbacks.Add(1)
+			if rollbacks++; rollbacks > immediateRetries {
+				rt.backoff(rollbacks - immediateRetries)
+			}
+			cp := cps[chk]
+			cps = cps[:chk+1]
+			tx.readset = snapshotSets(cp.readset)
+			tx.writeset = snapshotSets(cp.writeset)
+			tx.chkEpoch = chk
+			tx.footprint = 0
+			st = cp.state.CloneState()
+			i = cp.step
+			continue
+		}
+		i++
+	}
+
+	aborted = false
+	var commitErr error
+	func() {
+		defer recoverAbort(&aborted)
+		commitErr = tx.commitRoot()
+	}()
+	if commitErr != nil {
+		return nil, false, commitErr
+	}
+	if aborted {
+		return nil, true, nil
+	}
+	return st, false, nil
+}
+
+// runStepRecover executes one step, converting abort signals into
+// (aborted, chk).
+func runStepRecover(tx *Txn, st State, s Step) (aborted bool, chk int, err error) {
+	chk = proto.NoChk
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if sig, ok := r.(abortSignal); ok && sig.depth == 0 {
+			aborted = true
+			chk = sig.chk
+			err = nil
+			return
+		}
+		panic(r)
+	}()
+	return false, proto.NoChk, s(tx, st)
+}

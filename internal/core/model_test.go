@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// TestEngineMatchesModelSingleClient property-tests the full stack against
+// an in-memory map model: a single client executes random read/write/nested
+// transactions; after every commit the committed state (resolved through a
+// read quorum) must equal the model. Exercises read-your-writes, nesting
+// merge, version assignment and 1-copy reads without concurrency noise.
+func TestEngineMatchesModelSingleClient(t *testing.T) {
+	type opcode struct {
+		Kind   uint8 // read / write / nested-write / create
+		Obj    uint8
+		Val    int16
+		Nested bool
+	}
+	prop := func(modeRaw uint8, ops []opcode) bool {
+		mode := []core.Mode{core.Flat, core.FlatRqv, core.Closed, core.Checkpoint}[modeRaw%4]
+		tc := newTestCluster(t, 13, mode)
+		model := map[proto.ObjectID]int64{}
+		seed := map[proto.ObjectID]int64{"o0": 5, "o1": 6}
+		for k, v := range seed {
+			model[k] = v
+		}
+		tc.load(seed)
+
+		rt := tc.runtime(3)
+		for _, op := range ops {
+			obj := proto.ObjectID(fmt.Sprintf("o%d", op.Obj%6))
+			val := int64(op.Val)
+			var readBack int64
+			err := rt.Atomic(context.Background(), func(tx *core.Txn) error {
+				body := func(txx *core.Txn) error {
+					switch op.Kind % 3 {
+					case 0: // read
+						v, err := txx.Read(obj)
+						if err != nil {
+							return err
+						}
+						if v != nil {
+							readBack = int64(v.(proto.Int64))
+						} else {
+							readBack = -1
+						}
+						return nil
+					case 1: // blind-ish write
+						return txx.Write(obj, proto.Int64(val))
+					default: // read-modify-write
+						v, err := txx.Read(obj)
+						if err != nil {
+							return err
+						}
+						cur := int64(-1)
+						if v != nil {
+							cur = int64(v.(proto.Int64))
+						}
+						return txx.Write(obj, proto.Int64(cur+val))
+					}
+				}
+				if op.Nested {
+					return tx.Nested(body)
+				}
+				return body(tx)
+			})
+			if err != nil {
+				t.Logf("atomic: %v", err)
+				return false
+			}
+			// Update the model the same way.
+			switch op.Kind % 3 {
+			case 0:
+				want := int64(-1)
+				if v, ok := model[obj]; ok {
+					want = v
+				}
+				if readBack != want {
+					t.Logf("%v read %v = %d, model %d", mode, obj, readBack, want)
+					return false
+				}
+			case 1:
+				model[obj] = val
+			default:
+				cur := int64(-1)
+				if v, ok := model[obj]; ok {
+					cur = v
+				}
+				model[obj] = cur + val
+			}
+		}
+		// Committed state must equal the model.
+		for obj, want := range model {
+			if _, got := tc.committed(obj); got != want {
+				t.Logf("%v final %v = %d, model %d", mode, obj, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModesAgreeOnDeterministicProgram runs the same multi-step program
+// under all four modes and checks they produce identical committed state.
+func TestModesAgreeOnDeterministicProgram(t *testing.T) {
+	run := func(mode core.Mode) map[string]int64 {
+		tc := newTestCluster(t, 13, mode)
+		tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2, "c": 3})
+		rt := tc.runtime(4)
+		steps := []core.Step{
+			func(tx *core.Txn, s core.State) error {
+				v := readInt(t, tx, "a")
+				return tx.Write("a", proto.Int64(v*2))
+			},
+			func(tx *core.Txn, s core.State) error {
+				a := readInt(t, tx, "a")
+				b := readInt(t, tx, "b")
+				return tx.Write("c", proto.Int64(a+b))
+			},
+			func(tx *core.Txn, s core.State) error {
+				c := readInt(t, tx, "c")
+				return tx.Write("d", proto.Int64(c*10))
+			},
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := rt.AtomicSteps(context.Background(), core.NoState{}, steps); err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+		}
+		out := map[string]int64{}
+		for _, id := range []proto.ObjectID{"a", "b", "c", "d"} {
+			_, v := tc.committed(id)
+			out[string(id)] = v
+		}
+		return out
+	}
+
+	ref := run(core.Flat)
+	for _, mode := range []core.Mode{core.FlatRqv, core.Closed, core.Checkpoint} {
+		got := run(mode)
+		for k, want := range ref {
+			if got[k] != want {
+				t.Fatalf("%v: %s = %d, flat reference %d", mode, k, got[k], want)
+			}
+		}
+	}
+}
+
+// TestVersionsAdvanceByOnePerCommit checks version assignment: N sequential
+// commits on one object yield version N+1 (the load installs version 1).
+func TestVersionsAdvanceByOnePerCommit(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Flat)
+	tc.load(map[proto.ObjectID]int64{"v": 0})
+	rt := tc.runtime(2)
+	const n = 10
+	for i := 0; i < n; i++ {
+		mustAtomic(t, rt, func(tx *core.Txn) error {
+			val := readInt(t, tx, "v")
+			return tx.Write("v", proto.Int64(val+1))
+		})
+	}
+	ver, val := tc.committed("v")
+	if val != n {
+		t.Fatalf("value = %d, want %d", val, n)
+	}
+	if ver != n+1 {
+		t.Fatalf("version = %d, want %d", ver, n+1)
+	}
+}

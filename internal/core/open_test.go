@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+func TestOpenCommitVisibleBeforeRootCommit(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"log": 0, "data": 1})
+	rt := tc.runtime(5)
+
+	mustAtomic(t, rt, func(tx *core.Txn) error {
+		if err := tx.Open(nil,
+			func(ot *core.Txn) error {
+				v, err := ot.Read("log")
+				if err != nil {
+					return err
+				}
+				return ot.Write("log", v.(proto.Int64)+1)
+			}, nil); err != nil {
+			return err
+		}
+		// The open subtransaction's commit is globally visible although the
+		// root has not committed.
+		if _, got := tc.committed("log"); got != 1 {
+			t.Fatalf("open commit not visible: log = %d", got)
+		}
+		return tx.Write("data", proto.Int64(2))
+	})
+	if got := tc.metrics.OpenCommits.Load(); got != 1 {
+		t.Fatalf("open commits = %d", got)
+	}
+	if _, got := tc.committed("data"); got != 2 {
+		t.Fatalf("data = %d", got)
+	}
+}
+
+func TestOpenCompensationOnRootAbort(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"counter": 10, "victim": 1})
+	rt1, rt2 := tc.runtime(5), tc.runtime(9)
+
+	attempts := 0
+	mustAtomic(t, rt1, func(tx *core.Txn) error {
+		attempts++
+		// Read something a conflicting transaction will invalidate.
+		v := readInt(t, tx, "victim")
+
+		// Open subtransaction: decrement the counter, visible immediately;
+		// compensation re-increments.
+		if err := tx.Open(nil,
+			func(ot *core.Txn) error {
+				c, err := ot.Read("counter")
+				if err != nil {
+					return err
+				}
+				return ot.Write("counter", c.(proto.Int64)-1)
+			},
+			func(ct *core.Txn) error {
+				c, err := ct.Read("counter")
+				if err != nil {
+					return err
+				}
+				return ct.Write("counter", c.(proto.Int64)+1)
+			}); err != nil {
+			return err
+		}
+
+		if attempts == 1 {
+			// Force the ROOT to abort after the open commit.
+			mustAtomic(t, rt2, func(tx2 *core.Txn) error {
+				return tx2.Write("victim", proto.Int64(99))
+			})
+		}
+		return tx.Write("victim", proto.Int64(v+1))
+	})
+
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	// Attempt 1: counter 10→9 (open), root aborts, compensation 9→10.
+	// Attempt 2: counter 10→9 (open), root commits.
+	if _, got := tc.committed("counter"); got != 9 {
+		t.Fatalf("counter = %d, want 9 (exactly one net decrement)", got)
+	}
+	if got := tc.metrics.Compensations.Load(); got != 1 {
+		t.Fatalf("compensations = %d, want 1", got)
+	}
+	if _, got := tc.committed("victim"); got != 100 {
+		t.Fatalf("victim = %d, want 100", got)
+	}
+}
+
+func TestOpenCompensationOnUserError(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"counter": 5})
+	boom := errors.New("boom")
+	err := tc.runtime(0).Atomic(context.Background(), func(tx *core.Txn) error {
+		if err := tx.Open(nil,
+			func(ot *core.Txn) error {
+				c, err := ot.Read("counter")
+				if err != nil {
+					return err
+				}
+				return ot.Write("counter", c.(proto.Int64)-1)
+			},
+			func(ct *core.Txn) error {
+				c, err := ct.Read("counter")
+				if err != nil {
+					return err
+				}
+				return ct.Write("counter", c.(proto.Int64)+1)
+			}); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, got := tc.committed("counter"); got != 5 {
+		t.Fatalf("counter = %d, want 5 (compensated)", got)
+	}
+}
+
+func TestOpenAbstractLocksExcludeEachOther(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"slots": 100, "x": 0, "y": 0})
+	rt1, rt2 := tc.runtime(5), tc.runtime(9)
+
+	// rt1 takes the abstract lock inside an open subtransaction, then
+	// lingers before committing its root. rt2's open subtransaction needing
+	// the same lock must wait (abort/retry) until rt1's root finishes.
+	locked := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	note := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mustAtomic(t, rt1, func(tx *core.Txn) error {
+			if err := tx.Open([]string{"slots-lock"},
+				func(ot *core.Txn) error {
+					v, err := ot.Read("slots")
+					if err != nil {
+						return err
+					}
+					return ot.Write("slots", v.(proto.Int64)-1)
+				}, nil); err != nil {
+				return err
+			}
+			note("t1-open")
+			close(locked)
+			time.Sleep(20 * time.Millisecond) // hold the abstract lock
+			return tx.Write("x", proto.Int64(1))
+		})
+		note("t1-done")
+	}()
+
+	<-locked
+	mustAtomic(t, rt2, func(tx *core.Txn) error {
+		err := tx.Open([]string{"slots-lock"},
+			func(ot *core.Txn) error {
+				v, err := ot.Read("slots")
+				if err != nil {
+					return err
+				}
+				return ot.Write("slots", v.(proto.Int64)-1)
+			}, nil)
+		if err != nil {
+			return err
+		}
+		note("t2-open")
+		return tx.Write("y", proto.Int64(1))
+	})
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != "t1-open" || order[1] != "t1-done" || order[2] != "t2-open" {
+		t.Fatalf("order = %v, want t2's open commit after t1's root released the lock", order)
+	}
+	if _, got := tc.committed("slots"); got != 98 {
+		t.Fatalf("slots = %d, want 98", got)
+	}
+	if got := tc.metrics.OpenAborts.Load(); got == 0 {
+		t.Fatal("expected t2's open subtransaction to abort at least once on the abstract lock")
+	}
+}
+
+func TestOpenLocksReleasedOnAbortToo(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1})
+	boom := errors.New("boom")
+	err := tc.runtime(0).Atomic(context.Background(), func(tx *core.Txn) error {
+		if err := tx.Open([]string{"L"},
+			func(ot *core.Txn) error { return ot.Write("a", proto.Int64(2)) },
+			nil); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	// The lock must be free on every replica now.
+	for n, rep := range tc.replicas {
+		if h := rep.Store().AbstractLockHolder("L"); h != 0 {
+			t.Fatalf("replica %d still records abstract lock holder %v", n, h)
+		}
+	}
+}
+
+func TestOpenRejectedInCheckpointMode(t *testing.T) {
+	tc := newTestCluster(t, 4, core.Checkpoint)
+	err := tc.runtime(0).Atomic(context.Background(), func(tx *core.Txn) error {
+		return tx.Open(nil, func(*core.Txn) error { return nil }, nil)
+	})
+	if !errors.Is(err, core.ErrOpenInCheckpointed) {
+		t.Fatalf("err = %v, want ErrOpenInCheckpointed", err)
+	}
+}
+
+func TestOpenDoesNotSeeParentUncommittedWrites(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"p": 1})
+	mustAtomic(t, tc.runtime(0), func(tx *core.Txn) error {
+		if err := tx.Write("p", proto.Int64(50)); err != nil {
+			return err
+		}
+		return tx.Open(nil, func(ot *core.Txn) error {
+			v, err := ot.Read("p")
+			if err != nil {
+				return err
+			}
+			if int64(v.(proto.Int64)) != 1 {
+				t.Fatalf("open subtransaction saw parent's uncommitted write: %v", v)
+			}
+			return nil
+		}, nil)
+	})
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/proto"
+)
+
+// sleepCtx sleeps for d unless the context is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// entry is one element of a transaction's read- or write-set: the acquired
+// copy plus the ownership metadata Rqv needs.
+type entry struct {
+	copyv      proto.ObjectCopy // Version = version at acquisition
+	ownerDepth int
+	ownerChk   int
+}
+
+func (e *entry) clone() *entry {
+	out := *e
+	out.copyv = e.copyv.Clone()
+	return &out
+}
+
+// abortSignal is the panic payload that unwinds an aborted transaction to
+// the retry loop that owns the abort target — the Go analogue of the Java
+// exceptions (closed nesting) and continuations (checkpointing) the paper's
+// implementation uses.
+type abortSignal struct {
+	depth int // nesting depth to retry (0 = root)
+	chk   int // checkpoint epoch to roll back to; proto.NoChk outside QR-CHK
+}
+
+// throwAbort raises an abort targeting the given depth/checkpoint.
+func throwAbort(depth, chk int) {
+	panic(abortSignal{depth: depth, chk: chk})
+}
+
+// Txn is one (possibly nested) transaction. A Txn is confined to the
+// goroutine executing its body; the engine never shares it.
+type Txn struct {
+	rt     *Runtime
+	ctx    context.Context
+	id     proto.TxnID
+	depth  int
+	parent *Txn
+
+	readset  map[proto.ObjectID]*entry
+	writeset map[proto.ObjectID]*entry
+
+	// Checkpoint support (root transactions in Checkpoint mode).
+	chkEpoch     int
+	footprint    int  // objects acquired since the last checkpoint
+	chkRequested bool // RequestCheckpoint was called during the current step
+
+	// Open-nesting support (root transactions only).
+	openCommits   []openRecord // committed open subtransactions of this attempt
+	holdsAbsLocks bool         // abstract locks held on this root's behalf
+}
+
+func newRootTxn(rt *Runtime, ctx context.Context) *Txn {
+	return &Txn{
+		rt:       rt,
+		ctx:      ctx,
+		id:       rt.ids.Next(),
+		readset:  make(map[proto.ObjectID]*entry),
+		writeset: make(map[proto.ObjectID]*entry),
+	}
+}
+
+func (tx *Txn) child() *Txn {
+	return &Txn{
+		rt:       tx.rt,
+		ctx:      tx.ctx,
+		id:       tx.id,
+		depth:    tx.depth + 1,
+		parent:   tx,
+		readset:  make(map[proto.ObjectID]*entry),
+		writeset: make(map[proto.ObjectID]*entry),
+	}
+}
+
+// reset clears the transaction's footprint for a retry.
+func (tx *Txn) reset() {
+	tx.readset = make(map[proto.ObjectID]*entry)
+	tx.writeset = make(map[proto.ObjectID]*entry)
+}
+
+// ID returns the identifier of the transaction attempt (shared by a root
+// and all of its closed-nested children).
+func (tx *Txn) ID() proto.TxnID { return tx.id }
+
+// Depth returns the nesting depth (0 = root).
+func (tx *Txn) Depth() int { return tx.depth }
+
+// Context returns the context the transaction runs under.
+func (tx *Txn) Context() context.Context { return tx.ctx }
+
+// lookup finds an object in this transaction's sets or any ancestor's
+// (Algorithm 2's checkParent).
+func (tx *Txn) lookup(id proto.ObjectID) (*entry, bool) {
+	for t := tx; t != nil; t = t.parent {
+		if e, ok := t.writeset[id]; ok {
+			return e, true
+		}
+		if e, ok := t.readset[id]; ok {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// ownerChkNow returns the checkpoint epoch to stamp on new acquisitions.
+func (tx *Txn) ownerChkNow() int {
+	if tx.rt.mode == Checkpoint {
+		return tx.chkEpoch
+	}
+	return proto.NoChk
+}
+
+// dataSet assembles the validation footprint for Rqv: every object in this
+// transaction's and its ancestors' read/write sets, deduplicated per object
+// keeping the shallowest owner depth and earliest checkpoint epoch.
+func (tx *Txn) dataSet() []proto.DataItem {
+	seen := make(map[proto.ObjectID]int) // object -> index in items
+	var items []proto.DataItem
+	add := func(e *entry) {
+		if i, ok := seen[e.copyv.ID]; ok {
+			if e.ownerDepth < items[i].OwnerDepth {
+				items[i].OwnerDepth = e.ownerDepth
+			}
+			if e.ownerChk != proto.NoChk && (items[i].OwnerChk == proto.NoChk || e.ownerChk < items[i].OwnerChk) {
+				items[i].OwnerChk = e.ownerChk
+			}
+			return
+		}
+		seen[e.copyv.ID] = len(items)
+		items = append(items, proto.DataItem{
+			ID:         e.copyv.ID,
+			Version:    e.copyv.Version,
+			OwnerDepth: e.ownerDepth,
+			OwnerChk:   e.ownerChk,
+		})
+	}
+	for t := tx; t != nil; t = t.parent {
+		for _, e := range t.readset {
+			add(e)
+		}
+		for _, e := range t.writeset {
+			add(e)
+		}
+	}
+	return items
+}
+
+// Read returns the transaction's view of object id. Objects never written
+// read as nil. The returned value is a private deep copy: the caller may
+// mutate it freely and pass it back through Write.
+func (tx *Txn) Read(id proto.ObjectID) (proto.Value, error) {
+	e, err := tx.acquire(id, false)
+	if err != nil {
+		return nil, err
+	}
+	if e.copyv.Val == nil {
+		return nil, nil
+	}
+	return e.copyv.Val.CloneValue(), nil
+}
+
+// Write buffers val as the transaction's new value for object id. The
+// engine takes a private deep copy, acquiring the object's current version
+// from the read quorum first if the transaction has not seen it yet.
+func (tx *Txn) Write(id proto.ObjectID, val proto.Value) error {
+	if e, ok := tx.writeset[id]; ok {
+		e.copyv.Val = cloneVal(val)
+		return nil
+	}
+	if e, ok := tx.readset[id]; ok {
+		// Promote this transaction's own read to a write.
+		delete(tx.readset, id)
+		e.copyv.Val = cloneVal(val)
+		tx.writeset[id] = e
+		return nil
+	}
+	if e, ok := tx.lookup(id); ok {
+		// An ancestor holds the object: buffer the write privately at this
+		// level; the merge on subtransaction commit propagates it upward.
+		ne := &entry{
+			copyv:      proto.ObjectCopy{ID: id, Version: e.copyv.Version, Val: cloneVal(val)},
+			ownerDepth: tx.depth,
+			ownerChk:   tx.ownerChkNow(),
+		}
+		tx.writeset[id] = ne
+		return nil
+	}
+	e, err := tx.acquireRemote(id, true)
+	if err != nil {
+		return err
+	}
+	e.copyv.Val = cloneVal(val)
+	return nil
+}
+
+// Create buffers a write to an object the caller knows to be brand new
+// (e.g. a freshly allocated list node), skipping the read-quorum fetch.
+//
+// The ID must be globally fresh (e.g. from an atomic counter): creating an
+// object that already has a committed version is caught by commit-time
+// validation, but since every retry would re-create it at version 0, the
+// transaction can never commit — allocate a new ID per attempt, or use
+// Write, which fetches the current version first.
+func (tx *Txn) Create(id proto.ObjectID, val proto.Value) {
+	tx.writeset[id] = &entry{
+		copyv:      proto.ObjectCopy{ID: id, Version: 0, Val: cloneVal(val)},
+		ownerDepth: tx.depth,
+		ownerChk:   tx.ownerChkNow(),
+	}
+	tx.noteAcquisition()
+}
+
+func cloneVal(v proto.Value) proto.Value {
+	if v == nil {
+		return nil
+	}
+	return v.CloneValue()
+}
+
+// acquire returns the entry for id, fetching from the read quorum when no
+// enclosing transaction holds it.
+func (tx *Txn) acquire(id proto.ObjectID, write bool) (*entry, error) {
+	if e, ok := tx.lookup(id); ok {
+		tx.rt.metrics.LocalReads.Add(1)
+		return e, nil
+	}
+	return tx.acquireRemote(id, write)
+}
+
+// acquireRemote performs the remote read of Algorithm 2: multicast to the
+// read quorum (with the Rqv data set in every mode but Flat), abort-route on
+// validation failure, and keep the highest-versioned copy.
+func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
+	var dataSet []proto.DataItem
+	if tx.rt.mode.Rqv() {
+		dataSet = tx.dataSet()
+		if dataSet == nil {
+			dataSet = []proto.DataItem{} // non-nil: request validation even with an empty footprint
+		}
+	}
+	req := proto.ReadReq{
+		Txn:     tx.id,
+		Obj:     id,
+		Write:   write,
+		Depth:   tx.depth,
+		DataSet: dataSet,
+	}
+
+	const quorumRetries = 3
+	lockWaits := 0
+	for attempt := 0; ; attempt++ {
+		if err := tx.ctx.Err(); err != nil {
+			return nil, err
+		}
+		readQ, _ := tx.rt.quorums()
+		if len(readQ) == 0 {
+			return nil, ErrUnavailable
+		}
+		tx.rt.metrics.ReadRequests.Add(1)
+		replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req)
+
+		best := proto.ObjectCopy{ID: id}
+		abortDepth, abortChk := proto.NoDepth, proto.NoChk
+		denied := false
+		lockOnly := true
+		var callErr error
+		for _, rep := range replies {
+			if rep.Err != nil {
+				callErr = rep.Err
+				continue
+			}
+			rr, ok := rep.Resp.(proto.ReadRep)
+			if !ok {
+				return nil, fmt.Errorf("core: unexpected read reply %T from %v", rep.Resp, rep.Node)
+			}
+			if !rr.OK {
+				denied = true
+				if !rr.LockOnly {
+					lockOnly = false
+				}
+				if abortDepth == proto.NoDepth || (rr.AbortDepth != proto.NoDepth && rr.AbortDepth < abortDepth) {
+					abortDepth = rr.AbortDepth
+				}
+				if rr.AbortChk != proto.NoChk && (abortChk == proto.NoChk || rr.AbortChk < abortChk) {
+					abortChk = rr.AbortChk
+				}
+				continue
+			}
+			if rr.Copy.Version >= best.Version {
+				best = rr.Copy
+			}
+		}
+
+		if denied {
+			// Contention-manager policy: a denial caused purely by a
+			// commit in flight (locks, no newer versions) can be waited
+			// out — the lock clears within one commit round either way.
+			if lockOnly && lockWaits < tx.rt.lockWaits {
+				lockWaits++
+				tx.rt.metrics.LockWaits.Add(1)
+				// One network quantum per wait: commit windows last about
+				// two rounds, so a couple of waits ride one out. This is
+				// policy pacing, independent of abort backoff.
+				if err := sleepCtx(tx.ctx, time.Duration(lockWaits)*time.Millisecond); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			// Validation failed somewhere in the footprint: partially or
+			// fully abort, per mode.
+			tx.routeAbort(abortDepth, abortChk)
+		}
+		if callErr != nil {
+			// A quorum member is unreachable: reconfigure and retry the
+			// read against the new quorum.
+			tx.rt.metrics.QuorumRefreshes.Add(1)
+			if err := tx.rt.RefreshQuorums(); err != nil {
+				return nil, err
+			}
+			if attempt+1 >= quorumRetries {
+				return nil, fmt.Errorf("%w: read of %v kept failing: %v", ErrUnavailable, id, callErr)
+			}
+			continue
+		}
+
+		e := &entry{
+			copyv:      best,
+			ownerDepth: tx.depth,
+			ownerChk:   tx.ownerChkNow(),
+		}
+		if write {
+			tx.writeset[id] = e
+		} else {
+			tx.readset[id] = e
+		}
+		tx.noteAcquisition()
+		return e, nil
+	}
+}
+
+// routeAbort converts a validation denial into the mode-appropriate abort.
+func (tx *Txn) routeAbort(abortDepth, abortChk int) {
+	switch tx.rt.mode {
+	case Closed:
+		d := abortDepth
+		if d == proto.NoDepth {
+			d = 0
+		}
+		if d > tx.depth {
+			// The named owner was a subtransaction that has since merged
+			// into an ancestor; the shallowest live scope retries.
+			d = tx.depth
+		}
+		throwAbort(d, proto.NoChk)
+	case Checkpoint:
+		c := abortChk
+		if c == proto.NoChk {
+			c = 0
+		}
+		if c > tx.chkEpoch {
+			c = tx.chkEpoch
+		}
+		throwAbort(0, c)
+	default:
+		throwAbort(0, proto.NoChk)
+	}
+}
+
+// noteAcquisition grows the checkpoint footprint counter.
+func (tx *Txn) noteAcquisition() {
+	if tx.rt.mode == Checkpoint && tx.depth == 0 {
+		tx.footprint++
+	}
+}
+
+// FootprintSize returns the number of distinct objects in this
+// transaction's own read and write sets (not counting ancestors).
+func (tx *Txn) FootprintSize() int {
+	return len(tx.readset) + len(tx.writeset)
+}

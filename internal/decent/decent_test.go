@@ -1,0 +1,221 @@
+package decent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/dtm"
+	"qrdtm/internal/proto"
+)
+
+func newCluster(n int) *Cluster {
+	return NewCluster(n, cluster.NewMemTransport())
+}
+
+func load(c *Cluster, kv map[proto.ObjectID]int64) {
+	var copies []proto.ObjectCopy
+	for id, v := range kv {
+		copies = append(copies, proto.ObjectCopy{ID: id, Val: proto.Int64(v)})
+	}
+	c.Load(copies)
+}
+
+func latest(t *testing.T, c *Cluster, node int, id proto.ObjectID) int64 {
+	t.Helper()
+	v, ok := c.Nodes[node].Latest(id)
+	if !ok || v.Val == nil {
+		return 0
+	}
+	return int64(v.Val.(proto.Int64))
+}
+
+func TestReadWriteCommitReplicatesEverywhere(t *testing.T) {
+	c := newCluster(5)
+	load(c, map[proto.ObjectID]int64{"a": 5})
+	err := c.System(2).Atomic(context.Background(), func(tx dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		return tx.Write("a", proto.Int64(int64(v.(proto.Int64))*2))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range c.Nodes {
+		if got := latest(t, c, n, "a"); got != 10 {
+			t.Fatalf("node %d sees a = %d, want 10 (full replication)", n, got)
+		}
+	}
+}
+
+func TestSnapshotReadsOldVersion(t *testing.T) {
+	// The defining MVCC behaviour: a reader that pinned its snapshot before
+	// a concurrent commit still reads the old version and commits fine.
+	c := newCluster(3)
+	load(c, map[proto.ObjectID]int64{"x": 1, "y": 1})
+	s1, s2 := c.System(0), c.System(0)
+
+	attempts := 0
+	err := s1.Atomic(context.Background(), func(tx dtm.Tx) error {
+		attempts++
+		x, err := tx.Read("x") // pins the snapshot
+		if err != nil {
+			return err
+		}
+		if attempts == 1 {
+			if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+				return tx2.Write("y", proto.Int64(99))
+			}); err != nil {
+				return err
+			}
+		}
+		y, err := tx.Read("y")
+		if err != nil {
+			return err
+		}
+		if attempts == 1 && int64(y.(proto.Int64)) != 1 {
+			t.Fatalf("snapshot read of y = %v, want pre-commit value 1", y)
+		}
+		_ = x
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("read-only snapshot transaction aborted %d times, want 0", attempts-1)
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	c := newCluster(3)
+	load(c, map[proto.ObjectID]int64{"a": 0})
+	s1, s2 := c.System(0), c.System(1)
+	attempts := 0
+	err := s1.Atomic(context.Background(), func(tx dtm.Tx) error {
+		attempts++
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if attempts == 1 {
+			if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+				return tx2.Write("a", proto.Int64(100))
+			}); err != nil {
+				return err
+			}
+		}
+		return tx.Write("a", proto.Int64(int64(v.(proto.Int64))+1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (first committer wins)", attempts)
+	}
+	if got := latest(t, c, 0, "a"); got != 101 {
+		t.Fatalf("a = %d, want 101", got)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	c := newCluster(2)
+	load(c, map[proto.ObjectID]int64{"a": 0})
+	s := c.System(0)
+	for i := 0; i < 3*HistoryCap; i++ {
+		if err := s.Atomic(context.Background(), func(tx dtm.Tx) error {
+			v, err := tx.Read("a")
+			if err != nil {
+				return err
+			}
+			return tx.Write("a", proto.Int64(int64(v.(proto.Int64))+1))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Nodes[0].mu.Lock()
+	n := len(c.Nodes[0].objs["a"].history)
+	c.Nodes[0].mu.Unlock()
+	if n > HistoryCap {
+		t.Fatalf("history grew to %d, cap is %d", n, HistoryCap)
+	}
+	if got := latest(t, c, 0, "a"); got != 3*HistoryCap {
+		t.Fatalf("a = %d", got)
+	}
+}
+
+func TestBankConservationAndConsistentAudits(t *testing.T) {
+	const accounts, initial = 10, 100
+	c := newCluster(5)
+	kv := map[proto.ObjectID]int64{}
+	for i := 0; i < accounts; i++ {
+		kv[proto.ObjectID(fmt.Sprintf("acct/%d", i))] = initial
+	}
+	load(c, kv)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := c.System(proto.NodeID(w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := proto.ObjectID(fmt.Sprintf("acct/%d", (w*3+i)%accounts))
+				to := proto.ObjectID(fmt.Sprintf("acct/%d", (w*3+i+1)%accounts))
+				err := s.Atomic(context.Background(), func(tx dtm.Tx) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, proto.Int64(int64(fv.(proto.Int64))-1)); err != nil {
+						return err
+					}
+					return tx.Write(to, proto.Int64(int64(tv.(proto.Int64))+1))
+				})
+				if err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	auditor := c.System(4)
+	for a := 0; a < 30; a++ {
+		var total int64
+		err := auditor.Atomic(context.Background(), func(tx dtm.Tx) error {
+			total = 0
+			for i := 0; i < accounts; i++ {
+				v, err := tx.Read(proto.ObjectID(fmt.Sprintf("acct/%d", i)))
+				if err != nil {
+					return err
+				}
+				total += int64(v.(proto.Int64))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("audit: %v", err)
+		}
+		if total != accounts*initial {
+			t.Fatalf("audit %d saw total %d, want %d (snapshot must be consistent)",
+				a, total, accounts*initial)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

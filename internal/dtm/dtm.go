@@ -1,0 +1,44 @@
+// Package dtm defines the minimal DTM interface shared by QR-DTM and the
+// baseline systems it is evaluated against (HyFlow/TFA and DecentSTM), so
+// the comparison experiments (the paper's Figure 9) can run the same
+// workload code on all three.
+package dtm
+
+import (
+	"context"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// Tx is a transaction handle: transactional reads and buffered writes.
+type Tx interface {
+	// Read returns the transaction's view of id (nil if never written).
+	Read(id proto.ObjectID) (proto.Value, error)
+	// Write buffers val as the new value of id.
+	Write(id proto.ObjectID, val proto.Value) error
+}
+
+// System runs transactions. Implementations retry internally on conflict.
+type System interface {
+	// Atomic executes body transactionally. Body may run multiple times.
+	Atomic(ctx context.Context, body func(Tx) error) error
+	// Name identifies the system in experiment output.
+	Name() string
+}
+
+// qrSystem adapts core.Runtime to System.
+type qrSystem struct {
+	rt *core.Runtime
+}
+
+// FromRuntime wraps a QR-DTM runtime in the comparison interface.
+func FromRuntime(rt *core.Runtime) System { return qrSystem{rt: rt} }
+
+// Name implements System.
+func (s qrSystem) Name() string { return "QR-DTM(" + s.rt.Mode().String() + ")" }
+
+// Atomic implements System.
+func (s qrSystem) Atomic(ctx context.Context, body func(Tx) error) error {
+	return s.rt.Atomic(ctx, func(tx *core.Txn) error { return body(tx) })
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qrdtm/internal/bench"
+	"qrdtm/internal/core"
+)
+
+func quickCfg(workload string, mode core.Mode) Config {
+	s := QuickScale()
+	cfg := s.config(workload, benchDefaults[workload], mode)
+	cfg.Clients = 3
+	cfg.TxnsPerClient = 10
+	cfg.Verify = true
+	return cfg
+}
+
+func TestRunAllWorkloadsVerify(t *testing.T) {
+	for _, name := range bench.Names {
+		for _, mode := range []core.Mode{core.Flat, core.Closed, core.Checkpoint} {
+			name, mode := name, mode
+			t.Run(name+"/"+mode.String(), func(t *testing.T) {
+				t.Parallel()
+				res, err := Run(context.Background(), quickCfg(name, mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Commits != 30 {
+					t.Fatalf("commits = %d, want 30", res.Commits)
+				}
+				if res.Throughput <= 0 {
+					t.Fatalf("throughput = %v", res.Throughput)
+				}
+				if res.Transport.Messages == 0 {
+					t.Fatal("no messages counted")
+				}
+			})
+		}
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	cfg := quickCfg("bank", core.Flat)
+	cfg.Params.Objects = 0
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("expected parameter error")
+	}
+	cfg = quickCfg("bank", core.Flat)
+	cfg.Workload = "nope"
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("expected unknown workload error")
+	}
+}
+
+func TestRunWithFailures(t *testing.T) {
+	cfg := quickCfg("bank", core.Closed)
+	cfg.Nodes = 28
+	cfg.FailNodes = fig10FailureOrder()[:3]
+	cfg.SpreadReads = true
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadQuorumSize < 2 {
+		t.Fatalf("read quorum size = %d after 3 failures, want >= 2", res.ReadQuorumSize)
+	}
+	if res.Commits != 30 {
+		t.Fatalf("commits = %d", res.Commits)
+	}
+}
+
+func TestCompareSystems(t *testing.T) {
+	for _, sys := range []string{"qr", "tfa", "decent"} {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunCompare(context.Background(), CompareConfig{
+				System:        sys,
+				Clients:       3,
+				TxnsPerClient: 10,
+				ReadRatio:     0.5,
+				Latency:       QuickScale().Latency,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits != 30 || res.Throughput <= 0 {
+				t.Fatalf("bad result: %+v", res)
+			}
+		})
+	}
+}
+
+func TestQuorumShapeTable(t *testing.T) {
+	tables, err := QuorumShape(context.Background(), QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	// Row 0: no failures → read quorum 1.
+	if tables[0].Rows[0][1] != "1" {
+		t.Fatalf("no-failure read quorum = %s, want 1", tables[0].Rows[0][1])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{ID: "x", Title: "t", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	var sbuf, cbuf stringsBuilder
+	tb.Fprint(&sbuf)
+	tb.CSV(&cbuf)
+	if sbuf.String() == "" || cbuf.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+// stringsBuilder avoids importing strings in the test twice.
+type stringsBuilder struct{ b []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *stringsBuilder) String() string              { return string(s.b) }
+
+func TestScaleDefaults(t *testing.T) {
+	cfg := Config{Workload: "bank", Params: bench.Params{Objects: 4, Ops: 1}}.withDefaults()
+	if cfg.Nodes != 13 || cfg.Clients != 8 || cfg.Latency == nil {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if cfg.CheckpointEvery != 4 {
+		t.Fatalf("CheckpointEvery default = %d", cfg.CheckpointEvery)
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{Commits: 10}
+	r.Client.RootAborts = 5
+	r.Transport.Messages = 100
+	if r.AbortRate() != 0.5 {
+		t.Fatalf("AbortRate = %v", r.AbortRate())
+	}
+	if r.MsgsPerCommit() != 10 {
+		t.Fatalf("MsgsPerCommit = %v", r.MsgsPerCommit())
+	}
+	if (Result{}).AbortRate() != 0 || (Result{}).MsgsPerCommit() != 0 {
+		t.Fatal("zero-commit results must not divide by zero")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	for _, id := range ExperimentOrder {
+		if _, ok := Experiments[id]; !ok {
+			t.Fatalf("experiment %q in order but not registered", id)
+		}
+	}
+	if len(Experiments) != len(ExperimentOrder) {
+		t.Fatalf("registry (%d) and order (%d) disagree", len(Experiments), len(ExperimentOrder))
+	}
+}
+
+func TestChkOverheadContentionFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	s := QuickScale()
+	s.Txns = 5
+	tables, err := ChkOverhead(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 3 {
+		t.Fatalf("rows: %v", tables[0].Rows)
+	}
+}
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := Run(ctx, quickCfg("bank", core.Flat)); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestNestingGainSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	s := QuickScale()
+	s.Clients, s.Txns = 3, 6
+	tables, err := NestingGain(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] == "0.0" || row[2] == "0.0" {
+			t.Fatalf("zero throughput in %v", row)
+		}
+	}
+}
+
+func TestAblLockWaitSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	s := QuickScale()
+	s.Clients, s.Txns = 3, 6
+	tables, err := AblLockWait(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 6 {
+		t.Fatalf("rows = %v", tables[0].Rows)
+	}
+}
+
+func TestOpenNestingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	s := QuickScale()
+	s.Clients, s.Txns = 3, 6
+	tables, err := OpenNesting(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 3 {
+		t.Fatalf("rows = %v", tables[0].Rows)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "yes" {
+			t.Fatalf("counter incorrect under %s: %v", row[0], row)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package proto defines the fundamental identifiers, object model and wire
+// messages shared by every component of the QR-DTM stack: clients (the
+// transaction engine in internal/core), replica servers (internal/server),
+// and the baseline DTM implementations (internal/tfa, internal/decent).
+//
+// All messages are plain data structs so that they can travel over the
+// in-memory simulated transport unchanged and over TCP via encoding/gob.
+package proto
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+// NodeID identifies a replica (or client-hosting) node in the cluster.
+// Nodes are numbered 0..N-1 and arranged in a logical ternary tree in heap
+// order (children of i are 3i+1, 3i+2, 3i+3).
+type NodeID int
+
+// ObjectID names a shared transactional object.
+type ObjectID string
+
+// Version is a monotonically increasing per-object commit counter. Version 0
+// means "never written"; the first commit installs version 1.
+type Version uint64
+
+// TxnID identifies one attempt of a root transaction. Each retry of a root
+// transaction allocates a fresh TxnID, so replica-side metadata (PR/PW lists,
+// protected flags) never confuses two attempts.
+type TxnID uint64
+
+// NoChk is the sentinel checkpoint epoch used by non-checkpointed
+// transactions in DataItem.OwnerChk and in abort replies.
+const NoChk = -1
+
+// NoDepth is the sentinel owner depth meaning "no abort target" in replies.
+const NoDepth = -1
+
+// Value is the payload stored in a transactional object. Implementations
+// must provide a deep copy so that replicas and transactions never alias
+// mutable state. Values that cross the TCP transport must also be registered
+// with RegisterValue.
+type Value interface {
+	CloneValue() Value
+}
+
+// ObjectCopy is one replica's copy of an object as shipped to a client, or a
+// client's buffered write as shipped to the write quorum.
+type ObjectCopy struct {
+	ID      ObjectID
+	Version Version
+	Val     Value
+}
+
+// Clone deep-copies the object copy (the Value included).
+func (c ObjectCopy) Clone() ObjectCopy {
+	out := c
+	if c.Val != nil {
+		out.Val = c.Val.CloneValue()
+	}
+	return out
+}
+
+// DataItem describes one entry of a transaction's read-set or write-set for
+// the purposes of read-quorum validation (Rqv). OwnerDepth is the nesting
+// depth of the (sub)transaction that acquired the object (0 = root); the
+// shallowest invalid owner becomes the abort target under closed nesting.
+// OwnerChk is the checkpoint epoch during which the object was acquired
+// (QR-CHK); the minimum invalid epoch becomes the rollback target.
+type DataItem struct {
+	ID         ObjectID
+	Version    Version
+	OwnerDepth int
+	OwnerChk   int
+}
+
+// ReadReq asks a read-quorum node for its copy of one object, and — when
+// DataSet is non-nil — asks it to first validate the requester's footprint
+// (Rqv). Write marks the request as acquiring a writable copy, which only
+// affects which potential-conflict list (PR vs PW) the root is recorded in.
+// An empty Obj requests validation only (no fetch): flat transactions use
+// it to tell a genuine application error apart from a crash caused by an
+// inconsistent (zombie) snapshot.
+type ReadReq struct {
+	Txn     TxnID
+	Obj     ObjectID
+	Write   bool
+	Depth   int        // nesting depth of the requester; 0 means root — only roots are recorded in PR/PW (Algorithm 2, line 17)
+	DataSet []DataItem // nil: plain QR read without incremental validation
+}
+
+// ReadRep is a replica's answer to ReadReq. If OK, Copy holds the replica's
+// current committed copy. Otherwise AbortDepth (and, for checkpointed
+// transactions, AbortChk) identify the partial-abort target computed by the
+// validation procedure (Algorithm 1 / Algorithm 4 in the paper).
+type ReadRep struct {
+	OK         bool
+	Copy       ObjectCopy
+	AbortDepth int
+	AbortChk   int
+	// LockOnly qualifies a denial: every conflict was a pending commit's
+	// lock, none a committed newer version (contention-manager input).
+	LockOnly bool
+}
+
+// PrepareReq is phase one of the two-phase commit sent to the write quorum.
+// Reads carries the read-set versions to validate; Writes carries the
+// buffered writes with the version at which each object was acquired
+// (validation) — the new value is installed by DecideReq on commit.
+type PrepareReq struct {
+	Txn    TxnID
+	Reads  []DataItem
+	Writes []ObjectCopy
+	// AbsLocks are abstract locks to acquire for open nesting: they are
+	// granted to Owner (the root transaction) and survive this commit,
+	// until an explicit ReleaseReq — the TFA-ON mechanism adapted to
+	// quorums. Pairwise-intersecting write quorums make the grant mutually
+	// exclusive.
+	AbsLocks []string
+	// Owner is the root transaction that holds AbsLocks (zero when no
+	// abstract locks are requested).
+	Owner TxnID
+}
+
+// PrepareRep is a write-quorum node's vote.
+type PrepareRep struct {
+	OK bool
+}
+
+// DecideReq is phase two of the commit protocol: Commit==true installs
+// Writes (whose Version fields now carry the *new* version) and releases the
+// locks; Commit==false only releases the locks taken by the prepare.
+type DecideReq struct {
+	Txn    TxnID
+	Commit bool
+	Writes []ObjectCopy
+}
+
+// DecideRep acknowledges a DecideReq.
+type DecideRep struct{}
+
+// ReleaseReq releases every abstract lock held by a root transaction
+// (sent to the write quorum when the root finally commits or gives up).
+type ReleaseReq struct {
+	Owner TxnID
+}
+
+// ReleaseRep acknowledges a ReleaseReq.
+type ReleaseRep struct{}
+
+// LoadReq asks a replica to install an object unconditionally (cluster
+// bootstrap / benchmark population). It bypasses concurrency control and is
+// only sent while no transactions run.
+type LoadReq struct {
+	Objects []ObjectCopy
+}
+
+// LoadRep acknowledges a LoadReq.
+type LoadRep struct{}
+
+// DumpReq asks a replica for its committed copy of an object without any
+// transactional bookkeeping (tests and tooling only).
+type DumpReq struct {
+	Obj ObjectID
+}
+
+// DumpRep answers DumpReq. OK is false if the replica has no copy.
+type DumpRep struct {
+	OK   bool
+	Copy ObjectCopy
+}
+
+// RegisterValue registers a concrete Value implementation with gob so it can
+// cross the TCP transport inside ObjectCopy. The in-memory transport does
+// not need registration.
+func RegisterValue(v Value) {
+	gob.Register(v)
+}
+
+func init() {
+	gob.Register(ReadReq{})
+	gob.Register(ReadRep{})
+	gob.Register(PrepareReq{})
+	gob.Register(PrepareRep{})
+	gob.Register(DecideReq{})
+	gob.Register(DecideRep{})
+	gob.Register(ReleaseReq{})
+	gob.Register(ReleaseRep{})
+	gob.Register(LoadReq{})
+	gob.Register(LoadRep{})
+	gob.Register(DumpReq{})
+	gob.Register(DumpRep{})
+}
+
+func (n NodeID) String() string   { return fmt.Sprintf("n%d", int(n)) }
+func (t TxnID) String() string    { return fmt.Sprintf("t%d", uint64(t)) }
+func (o ObjectID) String() string { return string(o) }

@@ -1,0 +1,360 @@
+// Package quorum implements the tree quorum protocol of Agrawal & El Abbadi
+// ("The tree quorum protocol: an efficient approach for managing replicated
+// data", VLDB 1990) over a logical ternary tree, as used by QR-DTM.
+//
+// Nodes 0..N-1 are arranged in heap order: the children of node i are
+// 3i+1, 3i+2 and 3i+3 (when < N). A read quorum for a subtree rooted at v is
+// either {v} itself or the union of read quorums of a majority of v's
+// children; a write quorum is v plus write quorums of a majority of v's
+// children, recursively to the leaves. When a node has crashed it can be
+// substituted by a majority of its children (for reads this is forced — a
+// crashed node can never serve — and for writes the root term is dropped).
+//
+// These rules guarantee that every read quorum intersects every write quorum
+// and that write quorums pairwise intersect, which is exactly what the QR
+// protocol needs for 1-copy equivalence: the member of the read quorum that
+// also belongs to the last write quorum holds the latest committed version.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"qrdtm/internal/proto"
+)
+
+// ErrUnavailable is returned when no quorum can be assembled from the nodes
+// currently alive (e.g. a crashed leaf whose substitution is impossible).
+var ErrUnavailable = errors.New("quorum: not enough live nodes to form a quorum")
+
+// Alive reports whether a node can currently serve requests.
+type Alive func(proto.NodeID) bool
+
+// AllAlive is the no-failure predicate.
+func AllAlive(proto.NodeID) bool { return true }
+
+// Tree is a logical ternary tree over nodes 0..N-1.
+type Tree struct {
+	n int
+}
+
+// NewTree builds a tree over n nodes. It panics if n < 1, because a DTM
+// with zero replicas is a configuration error, not a runtime condition.
+func NewTree(n int) *Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("quorum: tree needs at least 1 node, got %d", n))
+	}
+	return &Tree{n: n}
+}
+
+// Len returns the number of nodes in the tree.
+func (t *Tree) Len() int { return t.n }
+
+// Children returns the in-range children of node v.
+func (t *Tree) Children(v proto.NodeID) []proto.NodeID {
+	var out []proto.NodeID
+	for k := 1; k <= 3; k++ {
+		c := 3*int(v) + k
+		if c < t.n {
+			out = append(out, proto.NodeID(c))
+		}
+	}
+	return out
+}
+
+// Parent returns the parent of v, or -1 for the root.
+func (t *Tree) Parent(v proto.NodeID) proto.NodeID {
+	if v == 0 {
+		return -1
+	}
+	return (v - 1) / 3
+}
+
+// Depth returns the level of v (root = 0).
+func (t *Tree) Depth(v proto.NodeID) int {
+	d := 0
+	for v > 0 {
+		v = (v - 1) / 3
+		d++
+	}
+	return d
+}
+
+// majority returns the number of children that must participate when a node
+// delegates to its children.
+func majority(c int) int { return c/2 + 1 }
+
+// ReadQuorum assembles the canonical (cheapest) read quorum: it uses the
+// root when alive and otherwise substitutes crashed nodes by majorities of
+// their children, preferring earlier children. With no failures this is
+// simply {root}, matching the paper's Figure 10 setup where the initial read
+// quorum is a single node and grows by roughly one node per failure.
+func (t *Tree) ReadQuorum(alive Alive) ([]proto.NodeID, error) {
+	return t.ReadQuorumChoice(alive, 0)
+}
+
+// ReadQuorumChoice assembles a read quorum deterministically selected by
+// choice. Distinct choices yield different — but always valid — quorums,
+// which lets a set of clients spread read load across the tree (the
+// load-balancing effect the paper observes in Figure 10). Choice 0 is the
+// canonical quorum of ReadQuorum.
+func (t *Tree) ReadQuorumChoice(alive Alive, choice int) ([]proto.NodeID, error) {
+	rng := rand.New(rand.NewPCG(0x9E3779B97F4A7C15, uint64(choice)))
+	q, err := t.readQ(0, alive, choice, rng)
+	if err != nil {
+		return nil, err
+	}
+	return dedupeSorted(q), nil
+}
+
+func (t *Tree) readQ(v proto.NodeID, alive Alive, choice int, rng *rand.Rand) ([]proto.NodeID, error) {
+	kids := t.Children(v)
+	self := alive(v)
+	// With choice 0, always take the cheapest option (the node itself).
+	// Otherwise, alternate between using the node and descending into a
+	// rotated majority of children, so distinct choices land on distinct
+	// replicas.
+	descendFirst := choice != 0 && len(kids) > 0 && rng.IntN(2) == 0
+	if self && !descendFirst {
+		return []proto.NodeID{v}, nil
+	}
+	if len(kids) > 0 {
+		if q, err := t.majorityUnion(kids, alive, choice, rng, t.readQ); err == nil {
+			return q, nil
+		}
+	}
+	if self {
+		return []proto.NodeID{v}, nil
+	}
+	return nil, ErrUnavailable
+}
+
+// ReadQuorumSpread assembles a read quorum that is canonical while the
+// preferred nodes are alive ({root} with no failures) but, when failures
+// force delegation to children, rotates which child majority substitutes —
+// per choice. A population of clients with distinct choices therefore
+// spreads read load across the subtree replicas exactly when failures grow
+// the quorums, which is the load-balancing effect behind the initial
+// throughput *rise* in the paper's Figure 10.
+func (t *Tree) ReadQuorumSpread(alive Alive, choice int) ([]proto.NodeID, error) {
+	rng := rand.New(rand.NewPCG(0xA24BAED4963EE407, uint64(choice)))
+	q, err := t.readQSpread(0, alive, choice, rng)
+	if err != nil {
+		return nil, err
+	}
+	return dedupeSorted(q), nil
+}
+
+func (t *Tree) readQSpread(v proto.NodeID, alive Alive, choice int, rng *rand.Rand) ([]proto.NodeID, error) {
+	if alive(v) {
+		return []proto.NodeID{v}, nil
+	}
+	kids := t.Children(v)
+	if len(kids) == 0 {
+		return nil, ErrUnavailable
+	}
+	return t.majorityUnion(kids, alive, choice, rng, t.readQSpread)
+}
+
+// WriteQuorum assembles the canonical write quorum: each live node
+// contributes itself plus write quorums of a majority of its children; a
+// crashed node is substituted by write quorums of a majority of its
+// children.
+func (t *Tree) WriteQuorum(alive Alive) ([]proto.NodeID, error) {
+	return t.WriteQuorumChoice(alive, 0)
+}
+
+// WriteQuorumChoice is WriteQuorum with deterministic variation, analogous
+// to ReadQuorumChoice.
+func (t *Tree) WriteQuorumChoice(alive Alive, choice int) ([]proto.NodeID, error) {
+	rng := rand.New(rand.NewPCG(0xD1B54A32D192ED03, uint64(choice)))
+	q, err := t.writeQ(0, alive, choice, rng)
+	if err != nil {
+		return nil, err
+	}
+	return dedupeSorted(q), nil
+}
+
+func (t *Tree) writeQ(v proto.NodeID, alive Alive, choice int, rng *rand.Rand) ([]proto.NodeID, error) {
+	kids := t.Children(v)
+	if len(kids) == 0 {
+		if alive(v) {
+			return []proto.NodeID{v}, nil
+		}
+		return nil, ErrUnavailable
+	}
+	sub, err := t.majorityUnion(kids, alive, choice, rng, t.writeQ)
+	if err != nil {
+		return nil, err
+	}
+	if alive(v) {
+		return append(sub, v), nil
+	}
+	// Crashed interior node: the majority of children substitutes for it.
+	return sub, nil
+}
+
+// quorumFn is the recursive shape shared by readQ and writeQ.
+type quorumFn func(v proto.NodeID, alive Alive, choice int, rng *rand.Rand) ([]proto.NodeID, error)
+
+// majorityUnion assembles quorums from a majority of kids. It tries
+// candidate subsets in an order rotated by rng, skipping children whose
+// subtrees cannot produce a quorum, and falls back to any workable majority.
+func (t *Tree) majorityUnion(kids []proto.NodeID, alive Alive, choice int, rng *rand.Rand, f quorumFn) ([]proto.NodeID, error) {
+	m := majority(len(kids))
+	order := make([]proto.NodeID, len(kids))
+	copy(order, kids)
+	if choice != 0 {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	// Gather per-child quorums lazily, in preference order, until m succeed.
+	var out []proto.NodeID
+	ok := 0
+	for _, c := range order {
+		q, err := f(c, alive, choice, rng)
+		if err != nil {
+			continue
+		}
+		out = append(out, q...)
+		ok++
+		if ok == m {
+			return out, nil
+		}
+	}
+	return nil, ErrUnavailable
+}
+
+func dedupeSorted(q []proto.NodeID) []proto.NodeID {
+	sort.Slice(q, func(i, j int) bool { return q[i] < q[j] })
+	out := q[:0]
+	var last proto.NodeID = -1
+	for _, v := range q {
+		if v != last {
+			out = append(out, v)
+			last = v
+		}
+	}
+	return out
+}
+
+// Intersects reports whether two sorted-or-not quorums share a node.
+func Intersects(a, b []proto.NodeID) bool {
+	set := make(map[proto.NodeID]struct{}, len(a))
+	for _, v := range a {
+		set[v] = struct{}{}
+	}
+	for _, v := range b {
+		if _, ok := set[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// AllReadQuorums enumerates every read quorum constructible under the given
+// alive predicate. Intended for property tests on small trees; the count
+// grows quickly with depth, so limit bounds the enumeration (0 = no limit).
+func (t *Tree) AllReadQuorums(alive Alive, limit int) [][]proto.NodeID {
+	return capList(t.allRead(0, alive, limit), limit)
+}
+
+func (t *Tree) allRead(v proto.NodeID, alive Alive, limit int) [][]proto.NodeID {
+	var out [][]proto.NodeID
+	if alive(v) {
+		out = append(out, []proto.NodeID{v})
+	}
+	kids := t.Children(v)
+	if len(kids) > 0 {
+		perKid := make([][][]proto.NodeID, len(kids))
+		for i, c := range kids {
+			perKid[i] = t.allRead(c, alive, limit)
+		}
+		out = append(out, t.majorityCombos(kids, perKid, limit)...)
+	}
+	return capList(out, limit)
+}
+
+// AllWriteQuorums enumerates every write quorum constructible under the
+// given alive predicate, capped at limit (0 = no limit).
+func (t *Tree) AllWriteQuorums(alive Alive, limit int) [][]proto.NodeID {
+	return capList(t.allWrite(0, alive, limit), limit)
+}
+
+func (t *Tree) allWrite(v proto.NodeID, alive Alive, limit int) [][]proto.NodeID {
+	kids := t.Children(v)
+	if len(kids) == 0 {
+		if alive(v) {
+			return [][]proto.NodeID{{v}}
+		}
+		return nil
+	}
+	perKid := make([][][]proto.NodeID, len(kids))
+	for i, c := range kids {
+		perKid[i] = t.allWrite(c, alive, limit)
+	}
+	combos := t.majorityCombos(kids, perKid, limit)
+	var out [][]proto.NodeID
+	for _, q := range combos {
+		if alive(v) {
+			q = append(append([]proto.NodeID{}, q...), v)
+		}
+		out = append(out, dedupeSorted(q))
+	}
+	return capList(out, limit)
+}
+
+// majorityCombos builds all unions of quorums over majority subsets of kids.
+func (t *Tree) majorityCombos(kids []proto.NodeID, perKid [][][]proto.NodeID, limit int) [][]proto.NodeID {
+	m := majority(len(kids))
+	var out [][]proto.NodeID
+	idx := make([]int, 0, m)
+	var rec func(start, need int, acc [][]proto.NodeID)
+	rec = func(start, need int, acc [][]proto.NodeID) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if need == 0 {
+			// Cross-product of the chosen children's quorum alternatives.
+			cross := [][]proto.NodeID{{}}
+			for _, ki := range idx {
+				var next [][]proto.NodeID
+				for _, base := range cross {
+					for _, q := range perKid[ki] {
+						merged := append(append([]proto.NodeID{}, base...), q...)
+						next = append(next, merged)
+						if limit > 0 && len(next) >= limit {
+							break
+						}
+					}
+				}
+				cross = next
+				if len(cross) == 0 {
+					return
+				}
+			}
+			for _, q := range cross {
+				out = append(out, dedupeSorted(q))
+			}
+			return
+		}
+		for i := start; i <= len(kids)-need; i++ {
+			if len(perKid[i]) == 0 {
+				continue
+			}
+			idx = append(idx, i)
+			rec(i+1, need-1, acc)
+			idx = idx[:len(idx)-1]
+		}
+	}
+	rec(0, m, nil)
+	return capList(out, limit)
+}
+
+func capList(l [][]proto.NodeID, limit int) [][]proto.NodeID {
+	if limit > 0 && len(l) > limit {
+		return l[:limit]
+	}
+	return l
+}

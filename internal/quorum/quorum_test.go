@@ -1,0 +1,352 @@
+package quorum
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"qrdtm/internal/proto"
+)
+
+func aliveFrom(down map[proto.NodeID]bool) Alive {
+	return func(n proto.NodeID) bool { return !down[n] }
+}
+
+func TestTreeShape(t *testing.T) {
+	tr := NewTree(13)
+	if got := tr.Len(); got != 13 {
+		t.Fatalf("Len = %d, want 13", got)
+	}
+	kids := tr.Children(0)
+	want := []proto.NodeID{1, 2, 3}
+	if len(kids) != 3 || kids[0] != want[0] || kids[1] != want[1] || kids[2] != want[2] {
+		t.Fatalf("Children(0) = %v, want %v", kids, want)
+	}
+	if got := tr.Children(2); len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Fatalf("Children(2) = %v, want [7 8 9]", got)
+	}
+	if got := tr.Children(4); len(got) != 0 {
+		t.Fatalf("Children(4) = %v, want leaf", got)
+	}
+	if got := tr.Parent(9); got != 2 {
+		t.Fatalf("Parent(9) = %v, want 2", got)
+	}
+	if got := tr.Parent(0); got != -1 {
+		t.Fatalf("Parent(0) = %v, want -1", got)
+	}
+	if got := tr.Depth(12); got != 2 {
+		t.Fatalf("Depth(12) = %d, want 2", got)
+	}
+}
+
+func TestPartialTreeChildren(t *testing.T) {
+	tr := NewTree(6) // root, children 1..3, node 1 has children 4,5
+	if got := tr.Children(1); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("Children(1) = %v, want [4 5]", got)
+	}
+	if got := tr.Children(2); len(got) != 0 {
+		t.Fatalf("Children(2) = %v, want leaf", got)
+	}
+}
+
+func TestCanonicalQuorumsNoFailures(t *testing.T) {
+	tr := NewTree(13)
+	rq, err := tr.ReadQuorum(AllAlive)
+	if err != nil {
+		t.Fatalf("ReadQuorum: %v", err)
+	}
+	if len(rq) != 1 || rq[0] != 0 {
+		t.Fatalf("canonical read quorum = %v, want [0]", rq)
+	}
+	wq, err := tr.WriteQuorum(AllAlive)
+	if err != nil {
+		t.Fatalf("WriteQuorum: %v", err)
+	}
+	// Root + majority(3)=2 children + majority of each child's 3 children:
+	// 1 + 2 + 2*2 = 7 nodes.
+	if len(wq) != 7 {
+		t.Fatalf("write quorum size = %d (%v), want 7", len(wq), wq)
+	}
+	if wq[0] != 0 {
+		t.Fatalf("write quorum %v must contain the root", wq)
+	}
+}
+
+func TestPaperExampleQuorums(t *testing.T) {
+	// The paper's Figure 3: R1 = {n1,n2} and W2 = {n0,n2,n3,n8,n9,n11,n12}
+	// are both valid quorums of the 13-node tree and intersect at n2.
+	tr := NewTree(13)
+	r1 := []proto.NodeID{1, 2}
+	w2 := []proto.NodeID{0, 2, 3, 8, 9, 11, 12}
+	if !contains(tr.AllReadQuorums(AllAlive, 0), r1) {
+		t.Fatalf("R1 %v not among enumerated read quorums", r1)
+	}
+	if !contains(tr.AllWriteQuorums(AllAlive, 0), w2) {
+		t.Fatalf("W2 %v not among enumerated write quorums", w2)
+	}
+	if !Intersects(r1, w2) {
+		t.Fatalf("R1 and W2 must intersect")
+	}
+}
+
+func contains(quorums [][]proto.NodeID, want []proto.NodeID) bool {
+	for _, q := range quorums {
+		if len(q) != len(want) {
+			continue
+		}
+		same := true
+		for i := range q {
+			if q[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// TestIntersectionEnumerated exhaustively checks the quorum intersection
+// properties on small trees: every read quorum intersects every write
+// quorum, and write quorums pairwise intersect.
+func TestIntersectionEnumerated(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 9, 13} {
+		tr := NewTree(n)
+		rqs := tr.AllReadQuorums(AllAlive, 0)
+		wqs := tr.AllWriteQuorums(AllAlive, 0)
+		if len(rqs) == 0 || len(wqs) == 0 {
+			t.Fatalf("n=%d: no quorums enumerated", n)
+		}
+		for _, r := range rqs {
+			for _, w := range wqs {
+				if !Intersects(r, w) {
+					t.Fatalf("n=%d: read %v misses write %v", n, r, w)
+				}
+			}
+		}
+		for i, w1 := range wqs {
+			for _, w2 := range wqs[i:] {
+				if !Intersects(w1, w2) {
+					t.Fatalf("n=%d: writes %v and %v disjoint", n, w1, w2)
+				}
+			}
+		}
+	}
+}
+
+// TestIntersectionUnderFailures property-tests the intersection guarantee
+// across random failure patterns and quorum choices using testing/quick.
+func TestIntersectionUnderFailures(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	prop := func(nRaw uint8, downMask uint64, c1, c2 uint16) bool {
+		n := int(nRaw)%39 + 1
+		tr := NewTree(n)
+		down := make(map[proto.NodeID]bool)
+		for i := 0; i < n; i++ {
+			if downMask&(1<<uint(i)) != 0 {
+				down[proto.NodeID(i)] = true
+			}
+		}
+		alive := aliveFrom(down)
+		rq, errR := tr.ReadQuorumChoice(alive, int(c1))
+		wq, errW := tr.WriteQuorumChoice(alive, int(c2))
+		if errR != nil || errW != nil {
+			return true // quorum unavailable is an acceptable outcome
+		}
+		for _, v := range rq {
+			if down[v] {
+				return false // quorums must avoid crashed nodes
+			}
+		}
+		for _, v := range wq {
+			if down[v] {
+				return false
+			}
+		}
+		return Intersects(rq, wq)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteWriteIntersectionUnderFailures property-tests pairwise write
+// quorum intersection, which serializes conflicting commits.
+func TestWriteWriteIntersectionUnderFailures(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 400}
+	prop := func(nRaw uint8, downMask uint64, c1, c2 uint16) bool {
+		n := int(nRaw)%39 + 1
+		tr := NewTree(n)
+		down := make(map[proto.NodeID]bool)
+		for i := 0; i < n; i++ {
+			if downMask&(1<<uint(i)) != 0 {
+				down[proto.NodeID(i)] = true
+			}
+		}
+		alive := aliveFrom(down)
+		w1, err1 := tr.WriteQuorumChoice(alive, int(c1))
+		w2, err2 := tr.WriteQuorumChoice(alive, int(c2))
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return Intersects(w1, w2)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadQuorumGrowsUnderRootFailures(t *testing.T) {
+	// Figure 10 setup: failing the nodes that serve reads grows the read
+	// quorum step by step.
+	tr := NewTree(13)
+	down := map[proto.NodeID]bool{}
+	alive := aliveFrom(down)
+
+	rq, err := tr.ReadQuorum(alive)
+	if err != nil || len(rq) != 1 {
+		t.Fatalf("initial read quorum %v err %v, want size 1", rq, err)
+	}
+	down[0] = true // root fails
+	rq, err = tr.ReadQuorum(alive)
+	if err != nil {
+		t.Fatalf("after root failure: %v", err)
+	}
+	if len(rq) != 2 {
+		t.Fatalf("after root failure read quorum %v, want 2 children", rq)
+	}
+	down[rq[0]] = true // one quorum member fails
+	rq2, err := tr.ReadQuorum(alive)
+	if err != nil {
+		t.Fatalf("after second failure: %v", err)
+	}
+	if len(rq2) <= len(rq)-1 {
+		t.Fatalf("read quorum should grow or hold: had %v, now %v", rq, rq2)
+	}
+}
+
+func TestUnavailableWhenTooManyFailures(t *testing.T) {
+	tr := NewTree(4) // root + 3 leaves
+	down := map[proto.NodeID]bool{0: true, 1: true, 2: true}
+	alive := aliveFrom(down)
+	// Only leaf 3 is alive: a majority (2 of 3) of the root's children is
+	// impossible, and the root itself is down.
+	if _, err := tr.ReadQuorum(alive); err == nil {
+		t.Fatal("expected read quorum to be unavailable")
+	}
+	if _, err := tr.WriteQuorum(alive); err == nil {
+		t.Fatal("expected write quorum to be unavailable")
+	}
+}
+
+func TestChoiceSpreadsReadQuorums(t *testing.T) {
+	tr := NewTree(13)
+	seen := make(map[string]bool)
+	for c := 0; c < 16; c++ {
+		rq, err := tr.ReadQuorumChoice(AllAlive, c)
+		if err != nil {
+			t.Fatalf("choice %d: %v", c, err)
+		}
+		key := ""
+		for _, v := range rq {
+			key += v.String() + ","
+		}
+		seen[key] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("expected choice to produce several distinct read quorums, got %d", len(seen))
+	}
+}
+
+func TestSingleNodeTree(t *testing.T) {
+	tr := NewTree(1)
+	rq, err := tr.ReadQuorum(AllAlive)
+	if err != nil || len(rq) != 1 || rq[0] != 0 {
+		t.Fatalf("rq=%v err=%v", rq, err)
+	}
+	wq, err := tr.WriteQuorum(AllAlive)
+	if err != nil || len(wq) != 1 || wq[0] != 0 {
+		t.Fatalf("wq=%v err=%v", wq, err)
+	}
+}
+
+func TestQuorumsDeterministicPerChoice(t *testing.T) {
+	tr := NewTree(40)
+	for c := 0; c < 8; c++ {
+		a, err1 := tr.ReadQuorumChoice(AllAlive, c)
+		b, err2 := tr.ReadQuorumChoice(AllAlive, c)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("choice %d errors: %v %v", c, err1, err2)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("choice %d nondeterministic: %v vs %v", c, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("choice %d nondeterministic: %v vs %v", c, a, b)
+			}
+		}
+	}
+}
+
+// TestRandomPairSampling cross-checks choice-generated quorums against each
+// other on the paper's 40-node tree with random failure sets small enough
+// to keep quorums constructible.
+func TestRandomPairSampling(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	tr := NewTree(40)
+	for trial := 0; trial < 300; trial++ {
+		down := map[proto.NodeID]bool{}
+		for i := 0; i < rng.IntN(6); i++ {
+			down[proto.NodeID(rng.IntN(40))] = true
+		}
+		alive := aliveFrom(down)
+		rq, err1 := tr.ReadQuorumChoice(alive, rng.IntN(100))
+		wq, err2 := tr.WriteQuorumChoice(alive, rng.IntN(100))
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if !Intersects(rq, wq) {
+			t.Fatalf("trial %d: rq %v misses wq %v (down %v)", trial, rq, wq, down)
+		}
+	}
+}
+
+func TestReadQuorumSpreadCanonicalUntilFailure(t *testing.T) {
+	tr := NewTree(28)
+	// All alive: every choice yields {root}.
+	for c := 0; c < 10; c++ {
+		rq, err := tr.ReadQuorumSpread(AllAlive, c)
+		if err != nil || len(rq) != 1 || rq[0] != 0 {
+			t.Fatalf("choice %d: rq=%v err=%v, want [0]", c, rq, err)
+		}
+	}
+	// Root failed: choices spread across child majorities, and every
+	// spread quorum still intersects every write quorum.
+	down := map[proto.NodeID]bool{0: true}
+	alive := aliveFrom(down)
+	distinct := map[string]bool{}
+	for c := 0; c < 12; c++ {
+		rq, err := tr.ReadQuorumSpread(alive, c)
+		if err != nil {
+			t.Fatalf("choice %d: %v", c, err)
+		}
+		key := fmt.Sprint(rq)
+		distinct[key] = true
+		for w := 0; w < 6; w++ {
+			wq, err := tr.WriteQuorumChoice(alive, w)
+			if err != nil {
+				t.Fatalf("wq %d: %v", w, err)
+			}
+			if !Intersects(rq, wq) {
+				t.Fatalf("spread rq %v misses wq %v", rq, wq)
+			}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("spread produced %d distinct quorums, want >= 2", len(distinct))
+	}
+}

@@ -1,0 +1,123 @@
+// Package server implements the node-side of the QR/QR-CN/QR-CHK protocols:
+// a Replica owns one versioned store and answers read(+Rqv), prepare and
+// decide messages. The same replica serves flat, closed-nested and
+// checkpointed transactions — the differences live entirely on the client
+// side (internal/core) and in the owner metadata carried by requests.
+package server
+
+import (
+	"sync/atomic"
+
+	"qrdtm/internal/proto"
+	"qrdtm/internal/store"
+)
+
+// Metrics counts protocol events on one replica. All fields are updated
+// atomically; read them with the Snapshot method.
+type Metrics struct {
+	Reads           atomic.Uint64
+	ReadAborts      atomic.Uint64 // reads denied by Rqv validation
+	Prepares        atomic.Uint64
+	PrepareRejects  atomic.Uint64
+	CommitDecisions atomic.Uint64
+	AbortDecisions  atomic.Uint64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics.
+type MetricsSnapshot struct {
+	Reads           uint64
+	ReadAborts      uint64
+	Prepares        uint64
+	PrepareRejects  uint64
+	CommitDecisions uint64
+	AbortDecisions  uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Reads:           m.Reads.Load(),
+		ReadAborts:      m.ReadAborts.Load(),
+		Prepares:        m.Prepares.Load(),
+		PrepareRejects:  m.PrepareRejects.Load(),
+		CommitDecisions: m.CommitDecisions.Load(),
+		AbortDecisions:  m.AbortDecisions.Load(),
+	}
+}
+
+// Replica is one QR-DTM node: a versioned object store plus the protocol
+// message handlers. Its Handle method satisfies cluster.Handler.
+type Replica struct {
+	ID      proto.NodeID
+	st      *store.Store
+	metrics Metrics
+}
+
+// New builds a replica for node id with an empty store.
+func New(id proto.NodeID) *Replica {
+	return &Replica{ID: id, st: store.New()}
+}
+
+// Store exposes the replica's object table (tests, bootstrap and tooling).
+func (r *Replica) Store() *store.Store { return r.st }
+
+// Metrics exposes the replica's protocol counters.
+func (r *Replica) Metrics() *Metrics { return &r.metrics }
+
+// Handle dispatches one protocol message. Unknown message types panic: a
+// type confusion between client and server is a programming error, not a
+// runtime condition.
+func (r *Replica) Handle(_ proto.NodeID, req any) any {
+	switch m := req.(type) {
+	case proto.ReadReq:
+		return r.handleRead(m)
+	case proto.PrepareReq:
+		r.metrics.Prepares.Add(1)
+		ok := r.st.PrepareOpen(m.Txn, m.Reads, m.Writes, m.AbsLocks, m.Owner)
+		if !ok {
+			r.metrics.PrepareRejects.Add(1)
+		}
+		return proto.PrepareRep{OK: ok}
+	case proto.ReleaseReq:
+		r.st.ReleaseAbstract(m.Owner)
+		return proto.ReleaseRep{}
+	case proto.DecideReq:
+		if m.Commit {
+			r.metrics.CommitDecisions.Add(1)
+			r.st.Commit(m.Txn, m.Writes)
+		} else {
+			r.metrics.AbortDecisions.Add(1)
+			ids := make([]proto.ObjectID, len(m.Writes))
+			for i, w := range m.Writes {
+				ids[i] = w.ID
+			}
+			r.st.Abort(m.Txn, ids)
+		}
+		return proto.DecideRep{}
+	case proto.LoadReq:
+		r.st.Load(m.Objects)
+		return proto.LoadRep{}
+	case proto.DumpReq:
+		c, ok := r.st.Get(m.Obj)
+		return proto.DumpRep{OK: ok, Copy: c}
+	default:
+		panic("server: unknown request type")
+	}
+}
+
+// handleRead performs read-quorum validation (when the request carries a
+// data set) followed by the object fetch, per Algorithm 2's remote section.
+func (r *Replica) handleRead(m proto.ReadReq) proto.ReadRep {
+	r.metrics.Reads.Add(1)
+	if m.DataSet != nil {
+		if res := r.st.Validate(m.Txn, m.DataSet); !res.OK {
+			r.metrics.ReadAborts.Add(1)
+			return proto.ReadRep{OK: false, AbortDepth: res.AbortDepth, AbortChk: res.AbortChk, LockOnly: res.LockOnly}
+		}
+	}
+	if m.Obj == "" { // validation-only probe
+		return proto.ReadRep{OK: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+	}
+	copyv := r.st.Read(m.Txn, m.Obj, m.Write, m.Depth == 0)
+	return proto.ReadRep{OK: true, Copy: copyv, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+}

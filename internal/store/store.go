@@ -1,0 +1,365 @@
+// Package store implements one replica's versioned object store: committed
+// object copies with per-object version counters, commit locks (the
+// "protected" flag of the QR protocol), potential-reader/potential-writer
+// lists, and the validation primitive behind Rqv (Algorithms 1 and 4 of the
+// paper) and the two-phase commit.
+package store
+
+import (
+	"sync"
+
+	"qrdtm/internal/proto"
+)
+
+// prunePRPW bounds the potential reader/writer lists per object. The lists
+// are contention-manager metadata, not correctness state, so old entries can
+// be discarded once a record accumulates too many.
+const prunePRPW = 128
+
+type record struct {
+	copyv     proto.ObjectCopy
+	protected bool
+	protector proto.TxnID
+	pr        map[proto.TxnID]struct{} // potential readers (root transactions)
+	pw        map[proto.TxnID]struct{} // potential writers (root transactions)
+}
+
+// Store is one replica's object table. All methods are safe for concurrent
+// use; multi-object operations (Validate, Prepare, Commit, Abort) are atomic
+// with respect to each other, which is what makes a replica's vote in the
+// two-phase commit consistent.
+// absLock is one abstract lock grant: the root that owns it and how many
+// outstanding acquisitions (one per prepared subtransaction) sustain it.
+type absLock struct {
+	owner proto.TxnID
+	n     int
+}
+
+type Store struct {
+	mu       sync.Mutex
+	objs     map[proto.ObjectID]*record
+	absLocks map[string]*absLock      // abstract locks (open nesting), keyed by name
+	absPrep  map[proto.TxnID][]string // locks acquired by an in-flight prepare, keyed by the preparing transaction
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		objs:     make(map[proto.ObjectID]*record),
+		absLocks: make(map[string]*absLock),
+		absPrep:  make(map[proto.TxnID][]string),
+	}
+}
+
+func (s *Store) rec(id proto.ObjectID) *record {
+	r, ok := s.objs[id]
+	if !ok {
+		r = &record{copyv: proto.ObjectCopy{ID: id}}
+		s.objs[id] = r
+	}
+	return r
+}
+
+// Load unconditionally installs copies (cluster bootstrap / benchmark
+// population). It bypasses all concurrency control.
+func (s *Store) Load(copies []proto.ObjectCopy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range copies {
+		r := s.rec(c.ID)
+		r.copyv = c.Clone()
+		r.protected = false
+		r.protector = 0
+	}
+}
+
+// Get returns a deep copy of the committed copy of id. Objects this replica
+// has never seen read as version 0 with a nil value (ok == false); the QR
+// read operation resolves such staleness by taking the highest version
+// across the read quorum.
+func (s *Store) Get(id proto.ObjectID) (proto.ObjectCopy, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return proto.ObjectCopy{ID: id}, false
+	}
+	return r.copyv.Clone(), true
+}
+
+// Version returns the committed version of id (0 if unknown).
+func (s *Store) Version(id proto.ObjectID) proto.Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.objs[id]; ok {
+		return r.copyv.Version
+	}
+	return 0
+}
+
+// Len returns the number of objects this replica holds.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objs)
+}
+
+// ValidationResult reports the outcome of Rqv validation. When OK is false,
+// AbortDepth is the depth of the shallowest transaction in the requester's
+// nesting hierarchy that owns an invalidated object (the paper's
+// abortClosed), and AbortChk is the smallest checkpoint epoch owning an
+// invalidated object (the paper's abortChk). Either may be the corresponding
+// sentinel if the request carried no owner information.
+type ValidationResult struct {
+	OK         bool
+	AbortDepth int
+	AbortChk   int
+	// LockOnly reports that every conflict was a commit lock (protected
+	// flag) rather than a committed newer version — the requester may
+	// simply be racing a commit in flight, which contention managers can
+	// choose to wait out instead of aborting.
+	LockOnly bool
+}
+
+// Validate runs the read-quorum validation of Algorithms 1/4: an item is
+// invalid if this replica has committed a newer version of the object, or if
+// the object is currently protected (locked) by another transaction's
+// pending commit. Invalid items additionally get the requesting root
+// transaction removed from the object's PR/PW lists, mirroring line 8 of
+// Algorithm 1.
+func (s *Store) Validate(self proto.TxnID, items []proto.DataItem) ValidationResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.validateLocked(self, items)
+}
+
+func (s *Store) validateLocked(self proto.TxnID, items []proto.DataItem) ValidationResult {
+	res := ValidationResult{OK: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk, LockOnly: true}
+	for _, it := range items {
+		r, ok := s.objs[it.ID]
+		if !ok {
+			continue // replica is stale for this object; staleness is never a conflict
+		}
+		versionConflict := r.copyv.Version > it.Version
+		conflict := versionConflict || (r.protected && r.protector != self)
+		if !conflict {
+			continue
+		}
+		res.OK = false
+		if versionConflict {
+			res.LockOnly = false
+		}
+		delete(r.pr, self)
+		delete(r.pw, self)
+		if res.AbortDepth == proto.NoDepth || it.OwnerDepth < res.AbortDepth {
+			res.AbortDepth = it.OwnerDepth
+		}
+		if it.OwnerChk != proto.NoChk && (res.AbortChk == proto.NoChk || it.OwnerChk < res.AbortChk) {
+			res.AbortChk = it.OwnerChk
+		}
+	}
+	if res.OK {
+		res.LockOnly = false
+	}
+	return res
+}
+
+// Read returns the committed copy of id and records txn as a potential
+// reader (or writer, when write is true). Per Algorithm 2, only root
+// transactions are recorded — closed-nested transactions must leave no
+// remote metadata so they can commit locally.
+func (s *Store) Read(txn proto.TxnID, id proto.ObjectID, write, recordTxn bool) proto.ObjectCopy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rec(id)
+	if recordTxn {
+		target := &r.pr
+		if write {
+			target = &r.pw
+		}
+		if *target == nil {
+			*target = make(map[proto.TxnID]struct{})
+		}
+		if len(*target) >= prunePRPW {
+			for k := range *target {
+				delete(*target, k)
+				if len(*target) < prunePRPW/2 {
+					break
+				}
+			}
+		}
+		(*target)[txn] = struct{}{}
+	}
+	return r.copyv.Clone()
+}
+
+// Prepare is a replica's phase-one vote: it validates the read-set and the
+// write-set (at the versions the transaction acquired them) and, on success,
+// atomically protects every write-set object for txn. On failure nothing is
+// protected and the vote is negative.
+func (s *Store) Prepare(txn proto.TxnID, reads []proto.DataItem, writes []proto.ObjectCopy) bool {
+	return s.PrepareOpen(txn, reads, writes, nil, 0)
+}
+
+// PrepareOpen is Prepare extended with abstract-lock acquisition for open
+// nesting: all of absLocks must be free or already held by owner, and on a
+// positive vote they are granted to owner atomically with the object locks.
+func (s *Store) PrepareOpen(txn proto.TxnID, reads []proto.DataItem, writes []proto.ObjectCopy, absLocks []string, owner proto.TxnID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if res := s.validateLocked(txn, reads); !res.OK {
+		return false
+	}
+	for _, w := range writes {
+		r, ok := s.objs[w.ID]
+		if !ok {
+			continue
+		}
+		if r.copyv.Version > w.Version || (r.protected && r.protector != txn) {
+			return false
+		}
+	}
+	for _, l := range absLocks {
+		if g, held := s.absLocks[l]; held && g.owner != owner {
+			return false
+		}
+	}
+	for _, w := range writes {
+		r := s.rec(w.ID)
+		r.protected = true
+		r.protector = txn
+	}
+	for _, l := range absLocks {
+		if g, held := s.absLocks[l]; held {
+			g.n++
+		} else {
+			s.absLocks[l] = &absLock{owner: owner, n: 1}
+		}
+	}
+	if len(absLocks) > 0 {
+		s.absPrep[txn] = append([]string(nil), absLocks...)
+	}
+	return true
+}
+
+// settleAbstract finalizes a prepare's abstract-lock acquisitions when the
+// transaction's decision arrives: a commit keeps the grants (they belong to
+// the owning root until ReleaseAbstract); an abort undoes exactly the
+// acquisitions this node made for this prepare — nodes that rejected the
+// prepare made none, so a broadcast abort cannot release someone else's
+// grant.
+func (s *Store) settleAbstract(txn proto.TxnID, commit bool) {
+	names, ok := s.absPrep[txn]
+	if !ok {
+		return
+	}
+	delete(s.absPrep, txn)
+	if commit {
+		return
+	}
+	for _, l := range names {
+		if g, held := s.absLocks[l]; held {
+			if g.n--; g.n <= 0 {
+				delete(s.absLocks, l)
+			}
+		}
+	}
+}
+
+// ReleaseAbstract frees every abstract lock held by owner.
+func (s *Store) ReleaseAbstract(owner proto.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for l, g := range s.absLocks {
+		if g.owner == owner {
+			delete(s.absLocks, l)
+		}
+	}
+}
+
+// AbstractLockHolder reports who holds an abstract lock (0 = free).
+func (s *Store) AbstractLockHolder(name string) proto.TxnID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, held := s.absLocks[name]; held {
+		return g.owner
+	}
+	return 0
+}
+
+// Commit installs the decided writes (whose Version fields carry the new
+// version) and releases txn's locks on them. Stale replicas simply jump to
+// the new version.
+func (s *Store) Commit(txn proto.TxnID, writes []proto.ObjectCopy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.settleAbstract(txn, true)
+	for _, w := range writes {
+		r := s.rec(w.ID)
+		if r.copyv.Version < w.Version {
+			r.copyv = w.Clone()
+		}
+		if r.protected && r.protector == txn {
+			r.protected = false
+			r.protector = 0
+		}
+		delete(r.pw, txn)
+		delete(r.pr, txn)
+	}
+}
+
+// Abort releases any locks txn holds on the given objects (phase two of an
+// aborted commit). Objects protected by other transactions are untouched.
+func (s *Store) Abort(txn proto.TxnID, ids []proto.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.settleAbstract(txn, false)
+	for _, id := range ids {
+		r, ok := s.objs[id]
+		if !ok {
+			continue
+		}
+		if r.protected && r.protector == txn {
+			r.protected = false
+			r.protector = 0
+		}
+		delete(r.pw, txn)
+		delete(r.pr, txn)
+	}
+}
+
+// DumpAll returns deep copies of every committed object (recovery sync and
+// tooling).
+func (s *Store) DumpAll() []proto.ObjectCopy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]proto.ObjectCopy, 0, len(s.objs))
+	for _, r := range s.objs {
+		out = append(out, r.copyv.Clone())
+	}
+	return out
+}
+
+// ContentionInfo is a snapshot of one object's contention-manager metadata.
+type ContentionInfo struct {
+	Version   proto.Version
+	Protected bool
+	Readers   int
+	Writers   int
+}
+
+// Contention returns the contention metadata for id.
+func (s *Store) Contention(id proto.ObjectID) ContentionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.objs[id]
+	if !ok {
+		return ContentionInfo{}
+	}
+	return ContentionInfo{
+		Version:   r.copyv.Version,
+		Protected: r.protected,
+		Readers:   len(r.pr),
+		Writers:   len(r.pw),
+	}
+}

@@ -1,0 +1,350 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qrdtm/internal/proto"
+)
+
+func cp(id string, v proto.Version, x int64) proto.ObjectCopy {
+	return proto.ObjectCopy{ID: proto.ObjectID(id), Version: v, Val: proto.Int64(x)}
+}
+
+func item(id string, v proto.Version, depth, chk int) proto.DataItem {
+	return proto.DataItem{ID: proto.ObjectID(id), Version: v, OwnerDepth: depth, OwnerChk: chk}
+}
+
+func TestLoadAndGet(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 10), cp("b", 2, 20)})
+	got, ok := s.Get("a")
+	if !ok || got.Version != 1 || got.Val.(proto.Int64) != 10 {
+		t.Fatalf("Get(a) = %+v ok=%v", got, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get(missing) should report absent")
+	}
+	if v := s.Version("b"); v != 2 {
+		t.Fatalf("Version(b) = %d", v)
+	}
+	if v := s.Version("missing"); v != 0 {
+		t.Fatalf("Version(missing) = %d, want 0", v)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestGetReturnsDeepCopy(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{{ID: "v", Version: 1, Val: proto.Int64Slice{1, 2, 3}}})
+	got, _ := s.Get("v")
+	got.Val.(proto.Int64Slice)[0] = 99
+	again, _ := s.Get("v")
+	if again.Val.(proto.Int64Slice)[0] != 1 {
+		t.Fatal("store state leaked through Get")
+	}
+}
+
+func TestValidateCurrentVersionsPass(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 3, 0), cp("b", 5, 0)})
+	res := s.Validate(1, []proto.DataItem{item("a", 3, 0, proto.NoChk), item("b", 5, 1, 0)})
+	if !res.OK {
+		t.Fatalf("validation should pass: %+v", res)
+	}
+}
+
+func TestValidateStaleReplicaPasses(t *testing.T) {
+	// A replica whose copy is OLDER than the transaction's must not flag a
+	// conflict: staleness of individual quorum members is normal in QR.
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 2, 0)})
+	res := s.Validate(1, []proto.DataItem{item("a", 7, 0, proto.NoChk)})
+	if !res.OK {
+		t.Fatalf("stale replica flagged a conflict: %+v", res)
+	}
+	// Unknown objects are maximal staleness and also fine.
+	res = s.Validate(1, []proto.DataItem{item("unknown", 4, 0, proto.NoChk)})
+	if !res.OK {
+		t.Fatalf("unknown object flagged a conflict: %+v", res)
+	}
+}
+
+func TestValidateNewerVersionFails(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 4, 0)})
+	res := s.Validate(1, []proto.DataItem{item("a", 3, 2, 5)})
+	if res.OK {
+		t.Fatal("validation should fail on a newer committed version")
+	}
+	if res.AbortDepth != 2 {
+		t.Fatalf("AbortDepth = %d, want 2", res.AbortDepth)
+	}
+	if res.AbortChk != 5 {
+		t.Fatalf("AbortChk = %d, want 5", res.AbortChk)
+	}
+}
+
+func TestValidateShallowestOwnerWins(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 4, 0), cp("b", 9, 0), cp("c", 2, 0)})
+	res := s.Validate(1, []proto.DataItem{
+		item("a", 3, 2, 4), // invalid, depth 2, epoch 4
+		item("b", 8, 1, 6), // invalid, depth 1, epoch 6
+		item("c", 2, 0, 1), // valid
+	})
+	if res.OK {
+		t.Fatal("validation should fail")
+	}
+	if res.AbortDepth != 1 {
+		t.Fatalf("AbortDepth = %d, want shallowest invalid owner 1", res.AbortDepth)
+	}
+	if res.AbortChk != 4 {
+		t.Fatalf("AbortChk = %d, want earliest invalid epoch 4", res.AbortChk)
+	}
+}
+
+func TestValidateProtectedFails(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0)})
+	if !s.Prepare(7, nil, []proto.ObjectCopy{cp("a", 1, 99)}) {
+		t.Fatal("prepare should succeed")
+	}
+	res := s.Validate(1, []proto.DataItem{item("a", 1, 0, proto.NoChk)})
+	if res.OK {
+		t.Fatal("validation must fail while another transaction holds the lock")
+	}
+	// The lock holder itself still validates fine.
+	res = s.Validate(7, []proto.DataItem{item("a", 1, 0, proto.NoChk)})
+	if !res.OK {
+		t.Fatal("lock holder should pass validation on its own lock")
+	}
+}
+
+func TestPrepareConflictsAndLocks(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0), cp("b", 1, 0)})
+
+	if !s.Prepare(1, nil, []proto.ObjectCopy{cp("a", 1, 10)}) {
+		t.Fatal("first prepare should succeed")
+	}
+	// Conflicting prepare on the same object fails and must not leave locks
+	// on its other objects.
+	if s.Prepare(2, nil, []proto.ObjectCopy{cp("b", 1, 20), cp("a", 1, 30)}) {
+		t.Fatal("conflicting prepare should fail")
+	}
+	if ci := s.Contention("b"); ci.Protected {
+		t.Fatal("failed prepare leaked a lock on b")
+	}
+	// Reads on stale versions also block prepare.
+	if s.Prepare(3, []proto.DataItem{item("a", 0, 0, proto.NoChk)}, nil) {
+		t.Fatal("prepare with stale read should fail")
+	}
+}
+
+func TestPrepareIsIdempotentForOwner(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0)})
+	if !s.Prepare(1, nil, []proto.ObjectCopy{cp("a", 1, 10)}) {
+		t.Fatal("prepare failed")
+	}
+	if !s.Prepare(1, nil, []proto.ObjectCopy{cp("a", 1, 10)}) {
+		t.Fatal("re-prepare by the same owner should pass")
+	}
+}
+
+func TestCommitInstallsAndUnlocks(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0)})
+	if !s.Prepare(1, nil, []proto.ObjectCopy{cp("a", 1, 10)}) {
+		t.Fatal("prepare failed")
+	}
+	s.Commit(1, []proto.ObjectCopy{cp("a", 2, 10)})
+	got, _ := s.Get("a")
+	if got.Version != 2 || got.Val.(proto.Int64) != 10 {
+		t.Fatalf("after commit: %+v", got)
+	}
+	if ci := s.Contention("a"); ci.Protected {
+		t.Fatal("commit must release the lock")
+	}
+	// A second transaction can now prepare.
+	if !s.Prepare(2, nil, []proto.ObjectCopy{cp("a", 2, 20)}) {
+		t.Fatal("prepare after commit should succeed")
+	}
+}
+
+func TestCommitOnStaleReplicaJumpsVersion(t *testing.T) {
+	s := New() // replica that was not in earlier write quorums
+	s.Commit(9, []proto.ObjectCopy{cp("a", 7, 42)})
+	got, ok := s.Get("a")
+	if !ok || got.Version != 7 || got.Val.(proto.Int64) != 42 {
+		t.Fatalf("stale replica commit: %+v ok=%v", got, ok)
+	}
+}
+
+func TestCommitNeverRegressesVersion(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 5, 50)})
+	s.Commit(1, []proto.ObjectCopy{cp("a", 3, 30)}) // late/duplicate decide
+	got, _ := s.Get("a")
+	if got.Version != 5 || got.Val.(proto.Int64) != 50 {
+		t.Fatalf("commit regressed the object: %+v", got)
+	}
+}
+
+func TestAbortReleasesOnlyOwnLocks(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0), cp("b", 1, 0)})
+	if !s.Prepare(1, nil, []proto.ObjectCopy{cp("a", 1, 10)}) {
+		t.Fatal("prepare 1 failed")
+	}
+	if !s.Prepare(2, nil, []proto.ObjectCopy{cp("b", 1, 20)}) {
+		t.Fatal("prepare 2 failed")
+	}
+	s.Abort(2, []proto.ObjectID{"a", "b"})
+	if ci := s.Contention("a"); !ci.Protected {
+		t.Fatal("abort of txn 2 must not release txn 1's lock on a")
+	}
+	if ci := s.Contention("b"); ci.Protected {
+		t.Fatal("abort must release txn 2's lock on b")
+	}
+	s.Abort(2, []proto.ObjectID{"b"}) // double abort is a no-op
+}
+
+func TestReadRecordsRootsOnly(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 5)})
+	got := s.Read(1, "a", false, true)
+	if got.Version != 1 || got.Val.(proto.Int64) != 5 {
+		t.Fatalf("Read = %+v", got)
+	}
+	if ci := s.Contention("a"); ci.Readers != 1 {
+		t.Fatalf("root read should register a potential reader: %+v", ci)
+	}
+	s.Read(2, "a", true, false) // closed-nested read: no metadata
+	if ci := s.Contention("a"); ci.Writers != 0 {
+		t.Fatalf("nested read must not register: %+v", ci)
+	}
+	s.Read(3, "a", true, true)
+	if ci := s.Contention("a"); ci.Writers != 1 {
+		t.Fatalf("root write acquisition should register a potential writer: %+v", ci)
+	}
+}
+
+func TestValidateRemovesInvalidRequesterFromLists(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0)})
+	s.Read(1, "a", false, true)
+	s.Load([]proto.ObjectCopy{cp("a", 2, 0)}) // someone committed a newer version
+	res := s.Validate(1, []proto.DataItem{item("a", 1, 0, proto.NoChk)})
+	if res.OK {
+		t.Fatal("validation should fail")
+	}
+	if ci := s.Contention("a"); ci.Readers != 0 {
+		t.Fatalf("invalid reader must be removed from PR: %+v", ci)
+	}
+}
+
+func TestPRPWBounded(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 1, 0)})
+	for i := 0; i < 10*prunePRPW; i++ {
+		s.Read(proto.TxnID(i), "a", false, true)
+	}
+	if ci := s.Contention("a"); ci.Readers > prunePRPW {
+		t.Fatalf("PR list unbounded: %d entries", ci.Readers)
+	}
+}
+
+// TestVersionMonotonicProperty: any interleaving of prepares, commits and
+// aborts never decreases an object's committed version.
+func TestVersionMonotonicProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		s := New()
+		s.Load([]proto.ObjectCopy{cp("a", 1, 0)})
+		last := proto.Version(1)
+		next := proto.Version(2)
+		for i, op := range ops {
+			txn := proto.TxnID(i + 1)
+			switch op % 3 {
+			case 0:
+				if s.Prepare(txn, nil, []proto.ObjectCopy{cp("a", last, 0)}) {
+					s.Commit(txn, []proto.ObjectCopy{cp("a", next, int64(next))})
+					last, next = next, next+1
+				}
+			case 1:
+				s.Prepare(txn, nil, []proto.ObjectCopy{cp("a", last, 0)})
+				s.Abort(txn, []proto.ObjectID{"a"})
+			case 2:
+				s.Abort(txn, []proto.ObjectID{"a"})
+			}
+			if v := s.Version("a"); v > last {
+				return false
+			}
+		}
+		got, _ := s.Get("a")
+		return got.Version == last
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbstractLockGrantAndRelease(t *testing.T) {
+	s := New()
+	if !s.PrepareOpen(10, nil, nil, []string{"L"}, 100) {
+		t.Fatal("first grant should succeed")
+	}
+	// Another owner is excluded; the same owner may re-acquire.
+	if s.PrepareOpen(20, nil, nil, []string{"L"}, 200) {
+		t.Fatal("conflicting owner must be rejected")
+	}
+	if !s.PrepareOpen(11, nil, nil, []string{"L"}, 100) {
+		t.Fatal("same owner must be able to re-acquire")
+	}
+	if h := s.AbstractLockHolder("L"); h != 100 {
+		t.Fatalf("holder = %v", h)
+	}
+	s.ReleaseAbstract(100)
+	if h := s.AbstractLockHolder("L"); h != 0 {
+		t.Fatalf("holder after release = %v", h)
+	}
+	if !s.PrepareOpen(21, nil, nil, []string{"L"}, 200) {
+		t.Fatal("lock must be free after release")
+	}
+}
+
+// TestAbstractLockAbortUndoesOnlyOwnAcquisition is the regression test for
+// the open-nesting deadlock: a broadcast decide-abort must release exactly
+// the acquisitions made by that prepare at this node — never a grant that a
+// different (or earlier) prepare established.
+func TestAbstractLockAbortUndoesOnlyOwnAcquisition(t *testing.T) {
+	s := New()
+	// Earlier subtransaction of root 100 committed while holding L.
+	if !s.PrepareOpen(10, nil, nil, []string{"L"}, 100) {
+		t.Fatal("grant failed")
+	}
+	s.Commit(10, nil)
+	// A later subtransaction of the same root acquires L again but its
+	// commit is aborted (it failed at another quorum member).
+	if !s.PrepareOpen(11, nil, nil, []string{"L"}, 100) {
+		t.Fatal("re-grant failed")
+	}
+	s.Abort(11, nil)
+	// The first grant must survive.
+	if h := s.AbstractLockHolder("L"); h != 100 {
+		t.Fatalf("holder = %v, want 100 (abort dropped an earlier grant)", h)
+	}
+	// An abort from a transaction that never acquired anything here (its
+	// prepare was rejected at this node) must be a no-op.
+	s.Abort(99, nil)
+	if h := s.AbstractLockHolder("L"); h != 100 {
+		t.Fatalf("holder = %v after foreign abort", h)
+	}
+	s.ReleaseAbstract(100)
+	if h := s.AbstractLockHolder("L"); h != 0 {
+		t.Fatalf("holder = %v after release", h)
+	}
+}

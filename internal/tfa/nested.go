@@ -1,0 +1,159 @@
+package tfa
+
+// This file adds closed nesting to the TFA baseline — N-TFA (Turcu,
+// Ravindran & Saad, "On closed nesting in distributed transactional
+// memory"), the single-copy counterpart of QR-CN that the paper's related
+// work discusses. Subtransactions keep private read/write sets, commit by
+// merging into the parent, and a failed forwarding validation aborts only
+// the shallowest transaction in the hierarchy that owns an invalidated
+// object. Comparing the nesting benefit here against QR-CN quantifies the
+// paper's core argument: partial aborts pay off in proportion to the cost
+// of the work they avoid redoing, which is much higher under quorum
+// replication than under single-copy unicast.
+
+import (
+	"errors"
+	"fmt"
+
+	"qrdtm/internal/dtm"
+	"qrdtm/internal/proto"
+)
+
+// errAbortAt unwinds a forwarding-validation failure to the nesting level
+// that owns the stale object.
+type errAbortAt struct {
+	depth int
+}
+
+func (e errAbortAt) Error() string {
+	return fmt.Sprintf("tfa: abort at nesting depth %d", e.depth)
+}
+
+// Nested runs body as a closed-nested subtransaction (N-TFA). On a
+// forwarding-validation conflict owned by the subtransaction, only body
+// retries; conflicts owned by enclosing levels unwind further. On success
+// the subtransaction's footprint merges into tx locally.
+func (tx *Tx) Nested(body func(dtm.Tx) error) error {
+	child := &Tx{
+		s:        tx.s,
+		ctx:      tx.ctx,
+		id:       tx.id,
+		root:     tx.rootTx(),
+		parent:   tx,
+		depth:    tx.depth + 1,
+		readset:  make(map[proto.ObjectID]*txEntry),
+		writeset: make(map[proto.ObjectID]*txEntry),
+	}
+	for {
+		if err := tx.ctx.Err(); err != nil {
+			return err
+		}
+		err := body(child)
+		if err == nil {
+			child.mergeToParent()
+			return nil
+		}
+		var at errAbortAt
+		if errors.As(err, &at) && at.depth == child.depth {
+			child.readset = make(map[proto.ObjectID]*txEntry)
+			child.writeset = make(map[proto.ObjectID]*txEntry)
+			continue
+		}
+		return err
+	}
+}
+
+// rootTx returns the root of the nesting chain.
+func (tx *Tx) rootTx() *Tx {
+	r := tx
+	for r.root != nil {
+		r = r.root
+	}
+	return r
+}
+
+// mergeToParent moves the subtransaction's footprint into its parent,
+// re-owned at the parent's depth (control has left the subtransaction's
+// scope, exactly as in QR-CN).
+func (tx *Tx) mergeToParent() {
+	p := tx.parent
+	for id, e := range tx.readset {
+		e.depth = p.depth
+		if _, inW := p.writeset[id]; !inW {
+			p.readset[id] = e
+		}
+	}
+	for id, e := range tx.writeset {
+		e.depth = p.depth
+		p.writeset[id] = e
+		delete(p.readset, id)
+	}
+}
+
+// lookupChain finds an object anywhere in the nesting chain.
+func (tx *Tx) lookupChain(id proto.ObjectID) (*txEntry, bool) {
+	for t := tx; t != nil; t = t.parent {
+		if e, ok := t.writeset[id]; ok {
+			return e, true
+		}
+		if e, ok := t.readset[id]; ok {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// chainItems gathers the whole hierarchy's footprint grouped by home node,
+// remembering each item's owner depth for abort routing.
+func (tx *Tx) chainItems() (map[proto.NodeID][]proto.DataItem, map[proto.ObjectID]int) {
+	byHome := make(map[proto.NodeID][]proto.DataItem)
+	depthOf := make(map[proto.ObjectID]int)
+	for t := tx; t != nil; t = t.parent {
+		for id, e := range t.readset {
+			if _, seen := depthOf[id]; seen {
+				continue
+			}
+			depthOf[id] = e.depth
+			byHome[e.home] = append(byHome[e.home], proto.DataItem{ID: id, Version: e.copyv.Version})
+		}
+		for id, e := range t.writeset {
+			if _, seen := depthOf[id]; seen {
+				continue
+			}
+			depthOf[id] = e.depth
+			byHome[e.home] = append(byHome[e.home], proto.DataItem{ID: id, Version: e.copyv.Version})
+		}
+	}
+	return byHome, depthOf
+}
+
+// validateChain revalidates the whole hierarchy's footprint at the owners
+// and, on failure, returns the shallowest invalid owner depth.
+func (tx *Tx) validateChain() (ok bool, abortDepth int, err error) {
+	byHome, depthOf := tx.chainItems()
+	abortDepth = -1
+	for home, items := range byHome {
+		resp, cerr := tx.s.trans.Call(tx.ctx, tx.s.host, home, ValidateReq{Txn: tx.id, Items: items})
+		if cerr != nil {
+			return false, 0, cerr
+		}
+		rep := resp.(ValidateRep)
+		if rep.OK {
+			continue
+		}
+		ok = false
+		for _, i := range rep.Invalid {
+			if i < 0 || int(i) >= len(items) {
+				continue
+			}
+			d := depthOf[items[i].ID]
+			if abortDepth == -1 || d < abortDepth {
+				abortDepth = d
+			}
+		}
+	}
+	if abortDepth == -1 {
+		return true, 0, nil
+	}
+	return false, abortDepth, nil
+}

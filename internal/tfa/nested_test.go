@@ -1,0 +1,195 @@
+package tfa
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"qrdtm/internal/dtm"
+	"qrdtm/internal/proto"
+)
+
+func TestNestedCommitMergesIntoParent(t *testing.T) {
+	c := newCluster(4)
+	load(c, map[proto.ObjectID]int64{"x": 1, "y": 2})
+	err := c.System(0).Atomic(context.Background(), func(tx dtm.Tx) error {
+		ttx := tx.(*Tx)
+		if err := ttx.Nested(func(ct dtm.Tx) error {
+			v, err := ct.Read("x")
+			if err != nil {
+				return err
+			}
+			return ct.Write("y", proto.Int64(int64(v.(proto.Int64))*10))
+		}); err != nil {
+			return err
+		}
+		// The parent must see the merged write.
+		v, err := tx.Read("y")
+		if err != nil {
+			return err
+		}
+		if int64(v.(proto.Int64)) != 10 {
+			t.Fatalf("parent sees y = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := latest(t, c, "y"); got != 10 {
+		t.Fatalf("y = %d", got)
+	}
+}
+
+func TestNestedPartialAbortRetriesOnlyChild(t *testing.T) {
+	c := newCluster(4)
+	load(c, map[proto.ObjectID]int64{"a": 1, "b": 2, "c": 3})
+	s1, s2 := c.System(0), c.System(1)
+
+	rootRuns, ctRuns := 0, 0
+	injected := false
+	err := s1.Atomic(context.Background(), func(tx dtm.Tx) error {
+		rootRuns++
+		if _, err := tx.Read("a"); err != nil {
+			return err
+		}
+		return tx.(*Tx).Nested(func(ct dtm.Tx) error {
+			ctRuns++
+			bv, err := ct.Read("b")
+			if err != nil {
+				return err
+			}
+			if !injected {
+				injected = true
+				// Invalidate the CHILD's object; the forwarding validation
+				// on the next read must abort only the child.
+				if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+					return tx2.Write("b", proto.Int64(20))
+				}); err != nil {
+					return err
+				}
+				// A second foreign commit advances another home's clock so
+				// the child's next read triggers forwarding.
+				if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+					return tx2.Write("c", proto.Int64(30))
+				}); err != nil {
+					return err
+				}
+			}
+			if _, err := ct.Read("c"); err != nil {
+				return err
+			}
+			return ct.Write("sum", proto.Int64(int64(bv.(proto.Int64))))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootRuns != 1 {
+		t.Fatalf("root ran %d times, want 1", rootRuns)
+	}
+	if ctRuns < 2 {
+		t.Fatalf("child ran %d times, want >= 2 (partial abort)", ctRuns)
+	}
+	if got := latest(t, c, "sum"); got != 20 {
+		t.Fatalf("sum = %d, want 20 (retried child must see the new b)", got)
+	}
+}
+
+func TestNestedParentConflictUnwindsToRoot(t *testing.T) {
+	c := newCluster(4)
+	load(c, map[proto.ObjectID]int64{"a": 1, "b": 2})
+	s1, s2 := c.System(0), c.System(1)
+
+	rootRuns := 0
+	injected := false
+	err := s1.Atomic(context.Background(), func(tx dtm.Tx) error {
+		rootRuns++
+		av, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		return tx.(*Tx).Nested(func(ct dtm.Tx) error {
+			if !injected {
+				injected = true
+				// Invalidate the PARENT's object a.
+				if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+					return tx2.Write("a", proto.Int64(100))
+				}); err != nil {
+					return err
+				}
+			}
+			if _, err := ct.Read("b"); err != nil {
+				return err
+			}
+			return ct.Write("out", proto.Int64(int64(av.(proto.Int64))))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootRuns != 2 {
+		t.Fatalf("root ran %d times, want 2 (conflict owned by parent)", rootRuns)
+	}
+	if got := latest(t, c, "out"); got != 100 {
+		t.Fatalf("out = %d, want 100", got)
+	}
+}
+
+func TestNestedBankConservation(t *testing.T) {
+	const accounts, clients, txns, initial = 10, 3, 40, 500
+	c := newCluster(4)
+	kv := map[proto.ObjectID]int64{}
+	for i := 0; i < accounts; i++ {
+		kv[acctID(i)] = initial
+	}
+	load(c, kv)
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			s := c.System(proto.NodeID(cl % 4))
+			for i := 0; i < txns; i++ {
+				from, to := acctID((cl*3+i)%accounts), acctID((cl*3+i+1)%accounts)
+				err := s.Atomic(context.Background(), func(tx dtm.Tx) error {
+					ttx := tx.(*Tx)
+					if err := ttx.Nested(func(ct dtm.Tx) error {
+						v, err := ct.Read(from)
+						if err != nil {
+							return err
+						}
+						return ct.Write(from, proto.Int64(int64(v.(proto.Int64))-1))
+					}); err != nil {
+						return err
+					}
+					return ttx.Nested(func(ct dtm.Tx) error {
+						v, err := ct.Read(to)
+						if err != nil {
+							return err
+						}
+						return ct.Write(to, proto.Int64(int64(v.(proto.Int64))+1))
+					})
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", cl, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for i := 0; i < accounts; i++ {
+		total += latest(t, c, acctID(i))
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d", total, accounts*initial)
+	}
+}
+
+func acctID(i int) proto.ObjectID {
+	return proto.ObjectID("acct/" + string(rune('a'+i)))
+}

@@ -1,0 +1,217 @@
+package tfa
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/dtm"
+	"qrdtm/internal/proto"
+)
+
+func newCluster(n int) *Cluster {
+	return NewCluster(n, cluster.NewMemTransport())
+}
+
+func load(c *Cluster, kv map[proto.ObjectID]int64) {
+	var copies []proto.ObjectCopy
+	for id, v := range kv {
+		copies = append(copies, proto.ObjectCopy{ID: id, Version: 1, Val: proto.Int64(v)})
+	}
+	c.Load(copies)
+}
+
+func latest(t *testing.T, c *Cluster, id proto.ObjectID) int64 {
+	t.Helper()
+	cp, ok := c.Nodes[Home(id, len(c.Nodes))].Get(id)
+	if !ok || cp.Val == nil {
+		return 0
+	}
+	return int64(cp.Val.(proto.Int64))
+}
+
+func TestHomePlacementStable(t *testing.T) {
+	for _, n := range []int{1, 4, 13} {
+		h1 := Home("acct/3", n)
+		h2 := Home("acct/3", n)
+		if h1 != h2 {
+			t.Fatalf("Home not deterministic: %v vs %v", h1, h2)
+		}
+		if int(h1) < 0 || int(h1) >= n {
+			t.Fatalf("Home out of range: %v of %d", h1, n)
+		}
+	}
+}
+
+func TestReadWriteCommit(t *testing.T) {
+	c := newCluster(8)
+	load(c, map[proto.ObjectID]int64{"a": 5, "b": 7})
+	s := c.System(0)
+	err := s.Atomic(context.Background(), func(tx dtm.Tx) error {
+		av, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		bv, err := tx.Read("b")
+		if err != nil {
+			return err
+		}
+		return tx.Write("a", proto.Int64(int64(av.(proto.Int64))+int64(bv.(proto.Int64))))
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if got := latest(t, c, "a"); got != 12 {
+		t.Fatalf("a = %d, want 12", got)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	c := newCluster(4)
+	load(c, map[proto.ObjectID]int64{"x": 1})
+	err := c.System(1).Atomic(context.Background(), func(tx dtm.Tx) error {
+		if err := tx.Write("x", proto.Int64(9)); err != nil {
+			return err
+		}
+		v, err := tx.Read("x")
+		if err != nil {
+			return err
+		}
+		if int64(v.(proto.Int64)) != 9 {
+			t.Fatalf("read-own-write = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictRetries(t *testing.T) {
+	c := newCluster(8)
+	load(c, map[proto.ObjectID]int64{"a": 0})
+	s1, s2 := c.System(0), c.System(1)
+	injected := false
+	err := s1.Atomic(context.Background(), func(tx dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		if !injected {
+			injected = true
+			if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+				return tx2.Write("a", proto.Int64(100))
+			}); err != nil {
+				return err
+			}
+		}
+		return tx.Write("a", proto.Int64(int64(v.(proto.Int64))+1))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := latest(t, c, "a"); got != 101 {
+		t.Fatalf("a = %d, want 101", got)
+	}
+}
+
+func TestForwardingRevalidates(t *testing.T) {
+	// A transaction reading x then (after a foreign commit advanced the
+	// clocks) reading y must either forward successfully (x unchanged) or
+	// abort (x changed). Here x is unchanged, so forwarding must succeed.
+	c := newCluster(4)
+	load(c, map[proto.ObjectID]int64{"x": 1, "y": 2, "z": 3})
+	s1, s2 := c.System(0), c.System(1)
+	err := s1.Atomic(context.Background(), func(tx dtm.Tx) error {
+		if _, err := tx.Read("x"); err != nil {
+			return err
+		}
+		// Foreign commit on an unrelated object advances its home's clock.
+		if err := s2.Atomic(context.Background(), func(tx2 dtm.Tx) error {
+			return tx2.Write("z", proto.Int64(30))
+		}); err != nil {
+			return err
+		}
+		if _, err := tx.Read("y"); err != nil {
+			return err
+		}
+		return tx.Write("y", proto.Int64(20))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := latest(t, c, "y"); got != 20 {
+		t.Fatalf("y = %d, want 20", got)
+	}
+}
+
+func TestBankConservation(t *testing.T) {
+	const accounts, clients, txns, initial = 12, 4, 50, 500
+	c := newCluster(8)
+	kv := map[proto.ObjectID]int64{}
+	for i := 0; i < accounts; i++ {
+		kv[proto.ObjectID(fmt.Sprintf("acct/%d", i))] = initial
+	}
+	load(c, kv)
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			s := c.System(proto.NodeID(cl % 8))
+			for i := 0; i < txns; i++ {
+				from := proto.ObjectID(fmt.Sprintf("acct/%d", (cl*5+i)%accounts))
+				to := proto.ObjectID(fmt.Sprintf("acct/%d", (cl*5+i+3)%accounts))
+				if from == to {
+					continue
+				}
+				err := s.Atomic(context.Background(), func(tx dtm.Tx) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, proto.Int64(int64(fv.(proto.Int64))-1)); err != nil {
+						return err
+					}
+					return tx.Write(to, proto.Int64(int64(tv.(proto.Int64))+1))
+				})
+				if err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	total := int64(0)
+	for i := 0; i < accounts; i++ {
+		total += latest(t, c, proto.ObjectID(fmt.Sprintf("acct/%d", i)))
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d", total, accounts*initial)
+	}
+}
+
+func TestNodeFailureIsFatal(t *testing.T) {
+	// The paper includes TFA precisely because it cannot cope with
+	// failures: losing an object's home loses the object.
+	trans := cluster.NewMemTransport()
+	c := NewCluster(4, trans)
+	load(c, map[proto.ObjectID]int64{"a": 1})
+	trans.Fail(Home("a", 4))
+	err := c.System((Home("a", 4)+1)%4).Atomic(context.Background(), func(tx dtm.Tx) error {
+		_, err := tx.Read("a")
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected read of an object on a crashed home to fail")
+	}
+}

@@ -1,0 +1,322 @@
+// Package qrdtm is the public face of the QR-DTM library: a fault-tolerant
+// distributed transactional memory with quorum-based replication, closed
+// nesting (QR-CN) and checkpointing (QR-CHK), reproducing Dhoke, Ravindran
+// and Zhang, "On Closed Nesting and Checkpointing in Fault-Tolerant
+// Distributed Transactional Memory" (IPDPS 2013).
+//
+// The quickest way in is a simulated cluster:
+//
+//	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 13, Mode: qrdtm.Closed})
+//	...
+//	rt := c.Runtime(0) // transactions issued from node 0
+//	err = rt.Atomic(ctx, func(tx *qrdtm.Txn) error {
+//	    v, err := tx.Read("acct/alice")
+//	    ...
+//	    return tx.Write("acct/alice", newVal)
+//	})
+//
+// Everything here is a thin veneer over the implementation packages:
+// internal/core (the transaction engine), internal/server (replicas),
+// internal/quorum (tree quorums) and internal/cluster (transports).
+package qrdtm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+	"qrdtm/internal/quorum"
+	"qrdtm/internal/server"
+)
+
+// Re-exported identifiers so applications only import qrdtm.
+type (
+	// NodeID identifies a replica node.
+	NodeID = proto.NodeID
+	// ObjectID names a shared transactional object.
+	ObjectID = proto.ObjectID
+	// Value is the payload interface stored in objects.
+	Value = proto.Value
+	// ObjectCopy is a versioned object snapshot.
+	ObjectCopy = proto.ObjectCopy
+	// Txn is a (possibly nested) transaction handle.
+	Txn = core.Txn
+	// Runtime executes transactions for one node.
+	Runtime = core.Runtime
+	// Mode selects the nesting/checkpointing protocol.
+	Mode = core.Mode
+	// State is the program state of a step-structured transaction.
+	State = core.State
+	// Step is one unit of a step-structured transaction.
+	Step = core.Step
+	// Metrics aggregates client-side protocol counters.
+	Metrics = core.Metrics
+)
+
+// Protocol modes.
+const (
+	// Flat is baseline QR: flat nesting, commit-time validation.
+	Flat = core.Flat
+	// FlatRqv is flat nesting with incremental read validation (ablation).
+	FlatRqv = core.FlatRqv
+	// Closed is QR-CN: closed nesting with local subtransaction commits.
+	Closed = core.Closed
+	// Checkpoint is QR-CHK: automatic checkpoints with partial rollback.
+	Checkpoint = core.Checkpoint
+)
+
+// Scalar payloads, re-exported for convenience.
+type (
+	// Int64 is a scalar integer payload.
+	Int64 = proto.Int64
+	// String is a scalar string payload.
+	String = proto.String
+	// Int64Slice is an integer-slice payload.
+	Int64Slice = proto.Int64Slice
+)
+
+// RegisterValue registers a Value implementation for the TCP transport.
+func RegisterValue(v Value) { proto.RegisterValue(v) }
+
+// Composition sentinels (see Txn.OrElse and Txn.Open).
+var (
+	// ErrBranchFailed makes an OrElse branch fall through to the next.
+	ErrBranchFailed = core.ErrBranchFailed
+	// ErrNeedsClosedNesting reports OrElse used outside Closed mode.
+	ErrNeedsClosedNesting = core.ErrNeedsClosedNesting
+	// ErrOpenInCheckpointed reports Txn.Open used in Checkpoint mode.
+	ErrOpenInCheckpointed = core.ErrOpenInCheckpointed
+)
+
+// ClusterConfig describes a simulated QR-DTM cluster.
+type ClusterConfig struct {
+	// Nodes is the replica count (default 13 — a full 3-level ternary
+	// tree, the paper's running example).
+	Nodes int
+	// Mode selects the protocol for all runtimes (default Flat).
+	Mode Mode
+	// Latency is the simulated network latency model (default zero). The
+	// simulator sleeps, so configure delays at millisecond scale — the
+	// platform sleep quantum is the effective resolution.
+	Latency cluster.LatencyModel
+	// TxTime serializes each node's outgoing messages with the given
+	// per-message transmission delay, making quorum multicasts cost
+	// proportionally more than unicasts (default 0).
+	TxTime time.Duration
+	// ServiceTime serializes each replica's request processing with the
+	// given per-request cost, modelling bounded node capacity (default 0).
+	ServiceTime time.Duration
+	// CheckpointEvery is the QR-CHK footprint threshold (default 2).
+	CheckpointEvery int
+	// CheckpointCost is the simulated per-checkpoint state-capture cost
+	// (default 0; see core.Config.CheckpointCost).
+	CheckpointCost time.Duration
+	// SpreadQuorums gives each node a different (but valid) read quorum,
+	// spreading read load across the tree. The default assigns everyone
+	// the canonical quorum, as in the paper's main experiments.
+	SpreadQuorums bool
+	// MaxRetries bounds attempts per transaction (0 = unlimited).
+	MaxRetries int
+	// LockWaitRetries is the contention-manager policy for lock-only read
+	// denials (see core.Config.LockWaitRetries; default 0 = paper policy).
+	LockWaitRetries int
+	// BackoffBase/BackoffMax tune full-abort backoff (see core.Config).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// Cluster is a simulated QR-DTM deployment: replicas, transport, quorum
+// system, and per-node transaction runtimes sharing one metrics block.
+type Cluster struct {
+	Transport *cluster.MemTransport
+	Tree      *quorum.Tree
+	Replicas  []*server.Replica
+
+	cfg      ClusterConfig
+	metrics  *core.Metrics
+	ids      *core.IDGen
+	provider core.QuorumProvider
+
+	mu       sync.Mutex
+	runtimes map[NodeID]*Runtime
+}
+
+// NewCluster builds and wires a simulated cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 13
+	}
+	var opts []cluster.MemOption
+	if cfg.Latency != nil {
+		opts = append(opts, cluster.WithLatency(cfg.Latency))
+	}
+	if cfg.TxTime > 0 {
+		opts = append(opts, cluster.WithTxTime(cfg.TxTime))
+	}
+	if cfg.ServiceTime > 0 {
+		opts = append(opts, cluster.WithServiceTime(cfg.ServiceTime))
+	}
+	t := cluster.NewMemTransport(opts...)
+	c := &Cluster{
+		Transport: t,
+		Tree:      quorum.NewTree(cfg.Nodes),
+		cfg:       cfg,
+		metrics:   &core.Metrics{},
+		ids:       core.NewIDGen(),
+		runtimes:  make(map[NodeID]*Runtime),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		r := server.New(NodeID(i))
+		c.Replicas = append(c.Replicas, r)
+		t.Register(NodeID(i), r.Handle)
+	}
+	return c, nil
+}
+
+// quorumProvider returns the provider runtimes are built against.
+func (c *Cluster) quorumProvider() core.QuorumProvider {
+	if c.provider != nil {
+		return c.provider
+	}
+	var choice func(NodeID) int
+	if c.cfg.SpreadQuorums {
+		choice = func(n NodeID) int { return int(n) }
+	}
+	return core.TreeQuorums{
+		Tree:   c.Tree,
+		Alive:  func(n NodeID) bool { return !c.Transport.Down(n) },
+		Choice: choice,
+	}
+}
+
+// SetQuorumProvider overrides how runtimes obtain their quorums (e.g. the
+// failure-adaptive spread quorums of the Figure 10 experiment). It must be
+// called before the first Runtime for a node is built; existing runtimes
+// keep their provider.
+func (c *Cluster) SetQuorumProvider(p core.QuorumProvider) { c.provider = p }
+
+// Runtime returns (building on first use) the transaction runtime hosted on
+// the given node. All runtimes share the cluster's metrics and ID space.
+// Safe for concurrent use.
+func (c *Cluster) Runtime(node NodeID) *Runtime {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rt, ok := c.runtimes[node]; ok {
+		return rt
+	}
+	rt, err := core.NewRuntime(core.Config{
+		Node:            node,
+		Transport:       c.Transport,
+		Quorums:         c.quorumProvider(),
+		Mode:            c.cfg.Mode,
+		IDs:             c.ids,
+		Metrics:         c.metrics,
+		CheckpointEvery: c.cfg.CheckpointEvery,
+		CheckpointCost:  c.cfg.CheckpointCost,
+		BackoffBase:     c.cfg.BackoffBase,
+		BackoffMax:      c.cfg.BackoffMax,
+		MaxRetries:      c.cfg.MaxRetries,
+		LockWaitRetries: c.cfg.LockWaitRetries,
+	})
+	if err != nil {
+		// Runtime construction only fails when no quorum exists, which on
+		// a fresh cluster is a configuration bug.
+		panic(fmt.Sprintf("qrdtm: building runtime for %v: %v", node, err))
+	}
+	c.runtimes[node] = rt
+	return rt
+}
+
+// Metrics returns the cluster-wide client metrics.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Load installs objects on every replica (bootstrap/population). It bypasses
+// concurrency control and must not race with running transactions.
+func (c *Cluster) Load(copies []ObjectCopy) {
+	for _, r := range c.Replicas {
+		r.Store().Load(copies)
+	}
+}
+
+// LoadKV is Load for a simple id→value map, installed at version 1.
+func (c *Cluster) LoadKV(objs map[ObjectID]Value) {
+	copies := make([]ObjectCopy, 0, len(objs))
+	for id, v := range objs {
+		copies = append(copies, ObjectCopy{ID: id, Version: 1, Val: v})
+	}
+	c.Load(copies)
+}
+
+// Fail crashes a node and reconfigures every existing runtime's quorums.
+// It returns an error if the failure leaves the cluster without quorums.
+func (c *Cluster) Fail(node NodeID) error {
+	c.Transport.Fail(node)
+	return c.refreshAll()
+}
+
+// Recover restarts a crashed node after synchronizing its store from a live
+// read quorum, so the crash-stop safety argument is preserved: the node
+// rejoins holding the latest committed version of every object it serves.
+func (c *Cluster) Recover(ctx context.Context, node NodeID) error {
+	alive := func(n NodeID) bool { return !c.Transport.Down(n) && n != node }
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	rq, err := c.Tree.ReadQuorum(alive)
+	if err != nil {
+		return err
+	}
+	// A read quorum collectively holds the latest committed version of
+	// every object, so recovery is a store-to-store sync from its members.
+	latest := make(map[ObjectID]ObjectCopy)
+	for _, n := range rq {
+		for _, cp := range c.Replicas[n].Store().DumpAll() {
+			if cur, ok := latest[cp.ID]; !ok || cp.Version > cur.Version {
+				latest[cp.ID] = cp
+			}
+		}
+	}
+	copies := make([]ObjectCopy, 0, len(latest))
+	for _, cp := range latest {
+		copies = append(copies, cp)
+	}
+	c.Replicas[node].Store().Load(copies)
+	c.Transport.Recover(node)
+	return c.refreshAll()
+}
+
+func (c *Cluster) refreshAll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rt := range c.runtimes {
+		if err := rt.RefreshQuorums(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCommitted returns the globally latest committed copy of id, resolved
+// through a read quorum (tooling, tests and examples; not transactional).
+func (c *Cluster) ReadCommitted(ctx context.Context, id ObjectID) (ObjectCopy, error) {
+	if err := ctx.Err(); err != nil {
+		return ObjectCopy{}, err
+	}
+	alive := func(n NodeID) bool { return !c.Transport.Down(n) }
+	rq, err := c.Tree.ReadQuorum(alive)
+	if err != nil {
+		return ObjectCopy{}, err
+	}
+	best := ObjectCopy{ID: id}
+	for _, n := range rq {
+		cp, ok := c.Replicas[n].Store().Get(id)
+		if ok && cp.Version >= best.Version {
+			best = cp
+		}
+	}
+	return best, nil
+}

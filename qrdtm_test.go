@@ -1,0 +1,242 @@
+package qrdtm_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qrdtm"
+	"qrdtm/internal/dtm"
+	"qrdtm/internal/proto"
+)
+
+func TestClusterDefaults(t *testing.T) {
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Replicas) != 13 {
+		t.Fatalf("default nodes = %d, want 13", len(c.Replicas))
+	}
+	if c.Tree.Len() != 13 {
+		t.Fatalf("tree size = %d", c.Tree.Len())
+	}
+}
+
+func TestClusterLoadAndReadCommitted(t *testing.T) {
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadKV(map[qrdtm.ObjectID]qrdtm.Value{"k": qrdtm.Int64(7)})
+	cp, err := c.ReadCommitted(context.Background(), "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Version != 1 || cp.Val.(qrdtm.Int64) != 7 {
+		t.Fatalf("committed = %+v", cp)
+	}
+}
+
+func TestClusterRuntimeCachedPerNode(t *testing.T) {
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Runtime(2) != c.Runtime(2) {
+		t.Fatal("Runtime must be cached per node")
+	}
+	if c.Runtime(1) == c.Runtime(2) {
+		t.Fatal("distinct nodes must get distinct runtimes")
+	}
+}
+
+func TestClusterFailRecoverCycle(t *testing.T) {
+	ctx := context.Background()
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 13, Mode: qrdtm.Closed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadKV(map[qrdtm.ObjectID]qrdtm.Value{"n": qrdtm.Int64(0)})
+	rt := c.Runtime(5)
+
+	inc := func() error {
+		return rt.Atomic(ctx, func(tx *qrdtm.Txn) error {
+			v, err := tx.Read("n")
+			if err != nil {
+				return err
+			}
+			return tx.Write("n", v.(qrdtm.Int64)+1)
+		})
+	}
+
+	if err := inc(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc(); err != nil {
+		t.Fatalf("increment with root down: %v", err)
+	}
+	// The crashed root missed the second commit; recovery must sync it.
+	if err := c.Recover(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Replicas[0].Store().Get("n")
+	if !ok || got.Val.(qrdtm.Int64) != 2 {
+		t.Fatalf("recovered replica state = %+v ok=%v (recovery must state-sync)", got, ok)
+	}
+	if err := inc(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := c.ReadCommitted(ctx, "n")
+	if err != nil || cp.Val.(qrdtm.Int64) != 3 {
+		t.Fatalf("final = %+v err=%v", cp, err)
+	}
+}
+
+func TestClusterFailTooManyNodes(t *testing.T) {
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Runtime(3) // force a runtime to exist so refresh has something to do
+	_ = c.Fail(0)
+	_ = c.Fail(1)
+	if err := c.Fail(2); err == nil {
+		t.Fatal("expected quorum unavailability after losing 3 of 4 nodes")
+	}
+}
+
+func TestDTMAdapter(t *testing.T) {
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{Nodes: 4, Mode: qrdtm.Flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LoadKV(map[qrdtm.ObjectID]qrdtm.Value{"a": qrdtm.Int64(1)})
+	sys := dtm.FromRuntime(c.Runtime(0))
+	if sys.Name() == "" {
+		t.Fatal("empty system name")
+	}
+	err = sys.Atomic(context.Background(), func(tx dtm.Tx) error {
+		v, err := tx.Read("a")
+		if err != nil {
+			return err
+		}
+		return tx.Write("a", proto.Int64(int64(v.(proto.Int64))*10))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, _ := c.ReadCommitted(context.Background(), "a")
+	if cp.Val.(qrdtm.Int64) != 10 {
+		t.Fatalf("a = %v", cp.Val)
+	}
+}
+
+// TestFailureStormConservation crashes and recovers replicas *while*
+// transfer transactions run, then checks that no committed money was lost
+// — the end-to-end fault-tolerance claim under the crash-stop model with
+// state-sync recovery.
+func TestFailureStormConservation(t *testing.T) {
+	const accounts, clients, txns, initial = 12, 4, 15, 1000
+	ctx := context.Background()
+	// Nonzero transmission cost slows transactions enough that crashes and
+	// recoveries genuinely interleave with reads, prepares and decides.
+	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{
+		Nodes:      13,
+		Mode:       qrdtm.Closed,
+		TxTime:     time.Millisecond,
+		MaxRetries: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := map[qrdtm.ObjectID]qrdtm.Value{}
+	for i := 0; i < accounts; i++ {
+		kv[qrdtm.ObjectID(fmt.Sprintf("s/%d", i))] = qrdtm.Int64(initial)
+	}
+	c.LoadKV(kv)
+
+	var clients_wg sync.WaitGroup
+	stop := make(chan struct{})
+	injectorDone := make(chan struct{})
+
+	// Failure injector: cycles crash/recover over non-root replicas. The
+	// root (node 0) stays up so canonical quorums remain cheap; leaves and
+	// mid-tree nodes churn.
+	go func() {
+		defer close(injectorDone)
+		victims := []qrdtm.NodeID{4, 7, 10, 2}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := victims[i%len(victims)]
+			if err := c.Fail(v); err != nil {
+				continue // quorum would break; skip this round
+			}
+			time.Sleep(2 * time.Millisecond)
+			if err := c.Recover(ctx, v); err != nil {
+				t.Errorf("recover %v: %v", v, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	for cl := 0; cl < clients; cl++ {
+		clients_wg.Add(1)
+		go func(cl int) {
+			defer clients_wg.Done()
+			rt := c.Runtime(qrdtm.NodeID(1 + cl*3%12))
+			for i := 0; i < txns; i++ {
+				from := qrdtm.ObjectID(fmt.Sprintf("s/%d", (cl*5+i)%accounts))
+				to := qrdtm.ObjectID(fmt.Sprintf("s/%d", (cl*7+i+1)%accounts))
+				if from == to {
+					continue
+				}
+				err := rt.Atomic(ctx, func(tx *qrdtm.Txn) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, fv.(qrdtm.Int64)-1); err != nil {
+						return err
+					}
+					return tx.Write(to, tv.(qrdtm.Int64)+1)
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", cl, err)
+					return
+				}
+			}
+		}(cl)
+	}
+
+	// Let the clients finish under churn, then stop the injector.
+	clients_wg.Wait()
+	close(stop)
+	<-injectorDone
+
+	total := int64(0)
+	for i := 0; i < accounts; i++ {
+		cp, err := c.ReadCommitted(ctx, qrdtm.ObjectID(fmt.Sprintf("s/%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int64(cp.Val.(qrdtm.Int64))
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (committed writes lost under failures)", total, accounts*initial)
+	}
+}
