@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick exp exp-quick fmt cover clean
+.PHONY: all build vet test race bench bench-quick exp exp-quick fmt cover clean check
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/
+
+# Fast pre-commit gate: vet plus the race-detected transport and engine suites.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/cluster/... ./internal/core/...
 
 # Every paper artifact as a Go benchmark (throughput via b.ReportMetric).
 bench:

@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
@@ -37,10 +38,12 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated replica addresses, ordered by node id (client mode)")
 	mode := flag.String("mode", "closed", "client protocol mode: flat, flatrqv, closed, checkpoint")
 	txns := flag.Int("txns", 20, "demo transactions to run (client mode)")
+	retries := flag.Int("retries", 6, "per-call attempt budget for transient faults (client mode; 1 disables retry)")
+	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-attempt call timeout (client mode; 0 disables)")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -75,7 +78,7 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-func runClient(peerList, modeName string, txns int) error {
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -89,8 +92,14 @@ func runClient(peerList, modeName string, txns int) error {
 		peers[proto.NodeID(i)] = strings.TrimSpace(a)
 	}
 
-	trans := cluster.NewTCPTransport(peers)
-	defer trans.Close()
+	tcp := cluster.NewTCPTransport(peers)
+	defer tcp.Close()
+	// Mask transient connection faults (a replica restarting, a reset pooled
+	// connection) with bounded retry so they don't surface as node crashes.
+	trans := cluster.NewRetryTransport(tcp, cluster.RetryPolicy{
+		MaxAttempts: retries,
+		CallTimeout: callTimeout,
+	})
 	tree := quorum.NewTree(len(addrs))
 	rt, err := core.NewRuntime(core.Config{
 		Node:      proto.NodeID(0),
@@ -147,8 +156,9 @@ func runClient(peerList, modeName string, txns int) error {
 		return err
 	}
 	m := rt.Metrics().Snapshot()
+	st := trans.Stats()
 	fmt.Printf("counter = %d after %d transactions over TCP (%v mode)\n", final, txns, mode)
-	fmt.Printf("commits = %d, aborts = %d, read requests = %d, messages = %d\n",
-		m.Commits, m.RootAborts+m.CTAborts, m.ReadRequests, trans.Stats().Messages)
+	fmt.Printf("commits = %d, aborts = %d, read requests = %d, messages = %d, retries = %d, timeouts = %d\n",
+		m.Commits, m.RootAborts+m.CTAborts, m.ReadRequests, st.Messages, st.Retries, st.Timeouts)
 	return nil
 }

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync/atomic"
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+// RetryPolicy bounds RetryTransport's masking of transient faults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per Call, the first
+	// included (default 4).
+	MaxAttempts int
+	// CallTimeout bounds each individual attempt. Zero means no per-attempt
+	// timeout; the caller's context still governs the call as a whole. An
+	// attempt cut short by this timeout counts in Stats.Timeouts and is
+	// retried like any transient fault.
+	CallTimeout time.Duration
+	// BackoffBase/BackoffMax bound the randomized exponential backoff slept
+	// between attempts (defaults 5ms / 250ms). The actual sleep before
+	// attempt n is uniform in [d/2, d] with d = min(Base<<n, Max) — jitter
+	// keeps a quorum's worth of retries from re-colliding in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 5 * time.Millisecond
+	}
+	if p.BackoffMax <= 0 {
+		p.BackoffMax = 250 * time.Millisecond
+	}
+	return p
+}
+
+// RetryTransport decorates a Transport with per-call timeouts and bounded
+// retry of transient faults. It distinguishes three error classes:
+//
+//   - Transient faults (errors tagged ErrTransient: refused dials, resets,
+//     EOF decodes — and per-attempt timeouts): retried with exponential
+//     backoff and jitter until the budget runs out, at which point the call
+//     fails with an error satisfying errors.Is(err, ErrNodeDown). A crashed
+//     replica is thus *declared* down only after the retry budget is spent,
+//     which is what lets a restarting replica be routed to rather than
+//     around (Metrics.QuorumRefreshes stays quiet across a restart window).
+//   - Genuine ErrNodeDown without the transient tag (MemTransport's
+//     crash-stop failures): returned immediately — the simulated crash is
+//     definitive and retrying it only burns simulated time.
+//   - Everything else (context errors from the caller, application errors,
+//     ErrRemotePanic): returned immediately.
+type RetryTransport struct {
+	inner  Transport
+	policy RetryPolicy
+
+	retries  atomic.Uint64
+	timeouts atomic.Uint64
+}
+
+// NewRetryTransport wraps inner with the given policy (zero fields take
+// defaults).
+func NewRetryTransport(inner Transport, policy RetryPolicy) *RetryTransport {
+	return &RetryTransport{inner: inner, policy: policy.withDefaults()}
+}
+
+// Stats merges the inner transport's counters (when it exposes them) with
+// this decorator's retry/timeout counters.
+func (t *RetryTransport) Stats() Stats {
+	var s Stats
+	if src, ok := t.inner.(StatsSource); ok {
+		s = src.Stats()
+	}
+	s.Retries += t.retries.Load()
+	s.Timeouts += t.timeouts.Load()
+	return s
+}
+
+// backoff returns the randomized sleep before retrying after attempt n.
+func (t *RetryTransport) backoff(attempt int) time.Duration {
+	d := t.policy.BackoffBase << uint(min(attempt, 20))
+	if d <= 0 || d > t.policy.BackoffMax {
+		d = t.policy.BackoffMax
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d/2)+1))
+}
+
+// Call implements Transport.
+func (t *RetryTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
+	var lastErr error
+	attempts := t.policy.MaxAttempts
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if t.policy.CallTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, t.policy.CallTimeout)
+		}
+		resp, err := t.inner.Call(actx, from, to, req)
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			// The caller's own context ended; its error, not ours.
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		// With the parent context still live, a DeadlineExceeded can only be
+		// the per-attempt timeout.
+		timedOut := t.policy.CallTimeout > 0 && errors.Is(err, context.DeadlineExceeded)
+		if timedOut {
+			t.timeouts.Add(1)
+		}
+		if !timedOut && !errors.Is(err, ErrTransient) {
+			return nil, err
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		t.retries.Add(1)
+		if err := sleepCtx(ctx, t.backoff(attempt)); err != nil {
+			return nil, err
+		}
+	}
+	if errors.Is(lastErr, ErrNodeDown) {
+		return nil, fmt.Errorf("cluster: retry budget exhausted (%d attempts): %w", attempts, lastErr)
+	}
+	return nil, errors.Join(
+		fmt.Errorf("%w: retry budget exhausted (%d attempts)", ErrNodeDown, attempts),
+		lastErr,
+	)
+}

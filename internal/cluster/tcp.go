@@ -18,15 +18,79 @@ import (
 // protocols in internal/core and internal/server are not bound to the
 // simulator; cmd/qr-node and the integration tests run a genuine
 // multi-listener cluster over it.
+//
+// Failure model: a TCP-level fault (dial refused, connection reset, decode
+// EOF) does not by itself prove the destination crashed — the node may be
+// slow, restarting, or behind a flaky link. Call therefore tags such errors
+// with both ErrNodeDown (the caller's best local suspicion) and ErrTransient
+// (the fault is worth retrying); RetryTransport uses the latter to mask
+// transient faults and only lets ErrNodeDown stand once the retry budget is
+// exhausted. Context cancellation and deadlines are surfaced as the context
+// errors themselves, never as ErrNodeDown.
 
 type tcpEnvelope struct {
 	From proto.NodeID
 	Req  any
 }
 
+// tcpResult is the wire reply frame. Code carries error identity across the
+// gob round-trip so that sentinel errors (ErrNodeDown, ErrRemotePanic, the
+// context errors) survive with errors.Is intact; Err carries the message
+// text. Code zero with an empty Err means success.
 type tcpResult struct {
 	Resp any
+	Code int32
 	Err  string
+}
+
+// Wire error codes (tcpResult.Code).
+const (
+	wireOK       int32 = iota // no error (or, with Err set, a generic error)
+	wireGeneric               // opaque remote error, text only
+	wirePanic                 // remote handler panicked (ErrRemotePanic)
+	wireNodeDown              // remote saw ErrNodeDown
+	wireCanceled              // remote saw context.Canceled
+	wireDeadline              // remote saw context.DeadlineExceeded
+)
+
+// encodeWireError maps an error to its wire representation.
+func encodeWireError(err error) (int32, string) {
+	switch {
+	case err == nil:
+		return wireOK, ""
+	case errors.Is(err, ErrRemotePanic):
+		return wirePanic, err.Error()
+	case errors.Is(err, ErrNodeDown):
+		return wireNodeDown, err.Error()
+	case errors.Is(err, context.Canceled):
+		return wireCanceled, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return wireDeadline, err.Error()
+	default:
+		return wireGeneric, err.Error()
+	}
+}
+
+// decodeWireError reconstructs the error for a wire code, restoring sentinel
+// identity so errors.Is works on the caller's side of the connection.
+func decodeWireError(code int32, msg string) error {
+	switch code {
+	case wireOK:
+		if msg == "" {
+			return nil
+		}
+		return errors.New(msg)
+	case wirePanic:
+		return fmt.Errorf("%w: %s", ErrRemotePanic, msg)
+	case wireNodeDown:
+		return fmt.Errorf("%w: %s", ErrNodeDown, msg)
+	case wireCanceled:
+		return fmt.Errorf("%w: %s", context.Canceled, msg)
+	case wireDeadline:
+		return fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
+	default:
+		return errors.New(msg)
+	}
 }
 
 // TCPServer serves one node's handler on a TCP listener.
@@ -36,6 +100,9 @@ type TCPServer struct {
 	listener net.Listener
 	closed   atomic.Bool
 	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // ListenTCP starts serving handler for node id on addr (e.g. "127.0.0.1:0").
@@ -44,7 +111,7 @@ func ListenTCP(id proto.NodeID, addr string, h Handler) (*TCPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ID: id, handler: h, listener: ln}
+	s := &TCPServer{ID: id, handler: h, listener: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,12 +120,39 @@ func ListenTCP(id proto.NodeID, addr string, h Handler) (*TCPServer, error) {
 // Addr returns the server's bound address.
 func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the listener and waits for in-flight connections to finish.
+// Close stops the listener, closes every live connection (so serve
+// goroutines blocked in Decode on a client's idle pooled connection unblock
+// immediately), and waits for them to finish. It is safe to call more than
+// once.
 func (s *TCPServer) Close() error {
 	s.closed.Store(true)
 	err := s.listener.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// track registers a live connection; it reports false (and closes the
+// connection) when the server is already shutting down.
+func (s *TCPServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		_ = conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *TCPServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *TCPServer) acceptLoop() {
@@ -68,6 +162,9 @@ func (s *TCPServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if !s.track(conn) {
+			return
+		}
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -75,6 +172,7 @@ func (s *TCPServer) acceptLoop() {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	defer s.untrack(conn)
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -87,10 +185,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					res = tcpResult{Err: fmt.Sprintf("handler panic: %v", r)}
+					res = tcpResult{}
+					res.Code, res.Err = encodeWireError(fmt.Errorf("%w: %v", ErrRemotePanic, r))
 				}
 			}()
-			res.Resp = s.handler(env.From, env.Req)
+			out := s.handler(env.From, env.Req)
+			if err, ok := out.(error); ok {
+				// Handlers that return an error value get typed propagation
+				// instead of a gob-encode failure on an unregistered type.
+				res.Code, res.Err = encodeWireError(err)
+			} else {
+				res.Resp = out
+			}
 		}()
 		if err := enc.Encode(&res); err != nil {
 			return
@@ -98,14 +204,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// maxIdleConnsPerPeer caps the per-peer connection pool; connections
+// returned to a full pool are closed instead of retained.
+const maxIdleConnsPerPeer = 4
+
 // TCPTransport implements Transport over TCP with a small per-peer
 // connection pool. Destination addresses are fixed at construction.
 type TCPTransport struct {
 	peers map[proto.NodeID]string
 
-	mu    sync.Mutex
-	idle  map[proto.NodeID][]*tcpConn
-	stats Stats
+	mu     sync.Mutex
+	idle   map[proto.NodeID][]*tcpConn
+	closed bool
 
 	dialTimeout time.Duration
 	messages    atomic.Uint64
@@ -157,58 +267,115 @@ func (t *TCPTransport) get(to proto.NodeID) (*tcpConn, error) {
 	}
 	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout)
 	if err != nil {
-		return nil, errors.Join(ErrNodeDown, err)
+		// Refused/unreachable: suspected down, but retryable — the node may
+		// be restarting.
+		return nil, errors.Join(ErrNodeDown, ErrTransient, err)
 	}
 	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
 }
 
+// put returns a connection to the pool, closing it instead when the pool is
+// full or the transport has been closed.
 func (t *TCPTransport) put(to proto.NodeID, c *tcpConn) {
 	t.mu.Lock()
+	if t.closed || len(t.idle[to]) >= maxIdleConnsPerPeer {
+		t.mu.Unlock()
+		c.conn.Close()
+		return
+	}
 	t.idle[to] = append(t.idle[to], c)
 	t.mu.Unlock()
 }
 
-// Call implements Transport.
+// classifyCallErr turns a raw connection error into the caller-facing error:
+// context errors keep their identity (a cancelled call says nothing about
+// the peer's health); everything else is a suspected-down, retryable fault.
+func classifyCallErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return errors.Join(ErrNodeDown, ErrTransient, err)
+}
+
+// Call implements Transport. It watches ctx for the whole exchange: a
+// cancellation (with or without a deadline) forces the connection deadline
+// into the past, unblocking an in-flight Encode/Decode, and the call returns
+// the context's error rather than a misclassified ErrNodeDown.
 func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
 	t.calls.Add(1)
+	if err := ctx.Err(); err != nil {
+		t.failed.Add(1)
+		return nil, err
+	}
 	c, err := t.get(to)
 	if err != nil {
 		t.failed.Add(1)
 		return nil, err
 	}
+
 	if dl, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetDeadline(dl)
-	} else {
-		_ = c.conn.SetDeadline(time.Time{})
 	}
+	// The watcher unblocks the in-flight read on cancellation even when ctx
+	// has no deadline; watchDone retires it once the exchange completes.
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = c.conn.SetDeadline(time.Now())
+		case <-watchDone:
+		}
+	}()
+
 	t.messages.Add(1)
 	if err := c.enc.Encode(&tcpEnvelope{From: from, Req: req}); err != nil {
+		close(watchDone)
 		c.conn.Close()
 		t.failed.Add(1)
-		return nil, errors.Join(ErrNodeDown, err)
+		return nil, classifyCallErr(ctx, err)
 	}
 	var res tcpResult
 	if err := c.dec.Decode(&res); err != nil {
+		close(watchDone)
 		c.conn.Close()
 		t.failed.Add(1)
-		return nil, errors.Join(ErrNodeDown, err)
+		return nil, classifyCallErr(ctx, err)
 	}
+	close(watchDone)
 	t.messages.Add(1)
-	t.put(to, c)
-	if res.Err != "" {
-		return nil, errors.New(res.Err)
+	if ctx.Err() != nil {
+		// The watcher may have poisoned the deadline concurrently with the
+		// successful decode; don't pool a connection in that state.
+		c.conn.Close()
+	} else {
+		// Clear the per-call deadline so the next caller doesn't inherit it.
+		_ = c.conn.SetDeadline(time.Time{})
+		t.put(to, c)
+	}
+	if wireErr := decodeWireError(res.Code, res.Err); wireErr != nil {
+		return nil, wireErr
 	}
 	return res.Resp, nil
 }
 
-// Close drops all pooled connections.
-func (t *TCPTransport) Close() {
+// CloseIdle drops every pooled idle connection (fault injection and tests);
+// in-flight calls are unaffected and the transport remains usable.
+func (t *TCPTransport) CloseIdle() {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, free := range t.idle {
+	idle := t.idle
+	t.idle = make(map[proto.NodeID][]*tcpConn)
+	t.mu.Unlock()
+	for _, free := range idle {
 		for _, c := range free {
 			c.conn.Close()
 		}
 	}
-	t.idle = make(map[proto.NodeID][]*tcpConn)
+}
+
+// Close drops all pooled connections and stops pooling new ones.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.CloseIdle()
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -133,6 +134,213 @@ func TestTCPHandlerPanicIsReportedNotFatal(t *testing.T) {
 	defer tr.Close()
 	if _, err := tr.Call(context.Background(), 0, 2, tcpPing{}); err == nil {
 		t.Fatal("expected handler panic to surface as an error")
+	}
+}
+
+// Regression: Close must return even while a client transport holds an idle
+// pooled connection — the server now closes tracked live connections so the
+// serve goroutines (blocked in Decode) unblock and wg.Wait returns.
+func TestTCPServerCloseWithIdleClientConn(t *testing.T) {
+	srv, tr := startTCPPair(t)
+	// Establish a pooled idle connection and leave it open.
+	if _, err := tr.Call(context.Background(), 0, 1, tcpPing{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("TCPServer.Close hung on an idle client connection")
+	}
+}
+
+// Regression: a per-call deadline must not leak into the next call made on
+// the same pooled connection.
+func TestTCPDeadlineClearedBeforePooling(t *testing.T) {
+	srv, err := ListenTCP(4, "127.0.0.1:0", func(_ proto.NodeID, req any) any {
+		if p, ok := req.(tcpPing); ok && p.N == 2 {
+			time.Sleep(300 * time.Millisecond) // longer than the first call's deadline
+		}
+		return req
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{4: srv.Addr()})
+	defer tr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	if _, err := tr.Call(ctx, 0, 4, tcpPing{N: 1}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	cancel()
+	// The second call reuses the pooled connection, has no deadline of its
+	// own, and outlives the first call's (already expired) deadline.
+	if _, err := tr.Call(context.Background(), 0, 4, tcpPing{N: 2}); err != nil {
+		t.Fatalf("second call inherited a stale deadline: %v", err)
+	}
+}
+
+// A deadline-exceeded call must surface context.DeadlineExceeded, not be
+// misclassified as a crashed node.
+func TestTCPDeadlineExceededIsNotNodeDown(t *testing.T) {
+	srv, err := ListenTCP(5, "127.0.0.1:0", func(_ proto.NodeID, req any) any {
+		time.Sleep(time.Second)
+		return req
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{5: srv.Addr()})
+	defer tr.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = tr.Call(ctx, 0, 5, tcpPing{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrNodeDown) {
+		t.Fatalf("deadline exceeded misclassified as ErrNodeDown: %v", err)
+	}
+}
+
+// Cancellation with NO deadline set must still unblock the in-flight read.
+func TestTCPContextCancelWithoutDeadline(t *testing.T) {
+	srv, err := ListenTCP(6, "127.0.0.1:0", func(_ proto.NodeID, req any) any {
+		time.Sleep(2 * time.Second)
+		return req
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{6: srv.Addr()})
+	defer tr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = tr.Call(ctx, 0, 6, tcpPing{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation did not unblock the in-flight read")
+	}
+}
+
+func TestTCPTransientFaultsAreMarked(t *testing.T) {
+	srv, tr := startTCPPair(t)
+	addr := srv.Addr()
+	_ = srv.Close()
+	_, err := tr.Call(context.Background(), 0, 1, tcpPing{})
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("connection fault to %s not marked transient: %v", addr, err)
+	}
+}
+
+func TestTCPHandlerPanicIsTyped(t *testing.T) {
+	srv, err := ListenTCP(7, "127.0.0.1:0", func(_ proto.NodeID, _ any) any {
+		panic("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{7: srv.Addr()})
+	defer tr.Close()
+	_, err = tr.Call(context.Background(), 0, 7, tcpPing{})
+	if !errors.Is(err, ErrRemotePanic) {
+		t.Fatalf("err = %v, want ErrRemotePanic identity to survive the wire", err)
+	}
+	if errors.Is(err, ErrTransient) {
+		t.Fatal("handler panic must not be retryable")
+	}
+}
+
+// Handlers may return error values; sentinel identity must survive the gob
+// round-trip via the tcpResult error-code field.
+func TestTCPWireErrorIdentity(t *testing.T) {
+	srv, err := ListenTCP(8, "127.0.0.1:0", func(_ proto.NodeID, req any) any {
+		switch req.(tcpPing).N {
+		case 1:
+			return fmt.Errorf("replica gave up: %w", ErrNodeDown)
+		case 2:
+			return context.DeadlineExceeded
+		default:
+			return errors.New("plain failure")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTCPTransport(map[proto.NodeID]string{8: srv.Addr()})
+	defer tr.Close()
+
+	if _, err := tr.Call(context.Background(), 0, 8, tcpPing{N: 1}); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("ErrNodeDown lost over the wire: %v", err)
+	}
+	if _, err := tr.Call(context.Background(), 0, 8, tcpPing{N: 2}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("context.DeadlineExceeded lost over the wire: %v", err)
+	}
+	if _, err := tr.Call(context.Background(), 0, 8, tcpPing{N: 3}); err == nil || errors.Is(err, ErrNodeDown) {
+		t.Fatalf("generic error mishandled: %v", err)
+	}
+}
+
+func TestWireErrorCodec(t *testing.T) {
+	cases := []error{
+		nil,
+		ErrNodeDown,
+		ErrRemotePanic,
+		context.Canceled,
+		context.DeadlineExceeded,
+		errors.New("opaque"),
+	}
+	for _, want := range cases {
+		code, msg := encodeWireError(want)
+		got := decodeWireError(code, msg)
+		if want == nil {
+			if got != nil {
+				t.Fatalf("decode(encode(nil)) = %v", got)
+			}
+			continue
+		}
+		if got == nil || !errors.Is(got, want) && got.Error() != want.Error() {
+			t.Fatalf("round-trip of %v gave %v", want, got)
+		}
+	}
+}
+
+// The per-peer pool must stay bounded no matter how many concurrent calls
+// complete and try to return their connections.
+func TestTCPPoolIsCapped(t *testing.T) {
+	_, tr := startTCPPair(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 4*maxIdleConnsPerPeer; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := tr.Call(context.Background(), 0, 1, tcpPing{N: i}); err != nil {
+				t.Errorf("call: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	tr.mu.Lock()
+	n := len(tr.idle[1])
+	tr.mu.Unlock()
+	if n > maxIdleConnsPerPeer {
+		t.Fatalf("idle pool holds %d conns, cap is %d", n, maxIdleConnsPerPeer)
 	}
 }
 

@@ -26,6 +26,20 @@ import (
 // over TCP, is unreachable).
 var ErrNodeDown = errors.New("cluster: node down")
 
+// ErrTransient tags failures that a retry may well cure: a refused dial, a
+// reset connection, a decode cut short by EOF. The TCP transport joins it
+// with ErrNodeDown (the fault is the caller's local evidence of a crash, but
+// not proof); RetryTransport retries errors carrying this mark and lets only
+// the final, budget-exhausted error stand as a genuine ErrNodeDown.
+// MemTransport's crash-stop failures deliberately do NOT carry it — a
+// simulated crash is definitive.
+var ErrTransient = errors.New("cluster: transient fault")
+
+// ErrRemotePanic is the typed identity of a handler panic propagated back
+// over the TCP transport. It marks a programming error on the remote side,
+// never a network fault, so it is not retryable.
+var ErrRemotePanic = errors.New("cluster: remote handler panicked")
+
 // Handler processes one request on behalf of a node and returns the reply.
 // Handlers must be safe for concurrent use.
 type Handler func(from proto.NodeID, req any) any
@@ -34,6 +48,13 @@ type Handler func(from proto.NodeID, req any) any
 type Transport interface {
 	// Call sends req from node "from" to node "to" and waits for the reply.
 	Call(ctx context.Context, from, to proto.NodeID, req any) (any, error)
+}
+
+// StatsSource is implemented by transports (and decorators) that keep
+// Stats counters; decorators merge their inner transport's counters into
+// their own snapshot.
+type StatsSource interface {
+	Stats() Stats
 }
 
 // Reply is the outcome of one leg of a multicast.
@@ -142,10 +163,17 @@ func treeDepth(i int) int {
 }
 
 // Stats is a snapshot of transport-level accounting.
+//
+// Message accounting: a successful call counts two messages (request plus
+// reply). A failed call counts exactly one — the request that went
+// unanswered; there is no reply leg to charge, and the failure-detection
+// wait is time, not traffic.
 type Stats struct {
-	Messages uint64 // every request and every reply counts as one message
-	Calls    uint64 // request/reply pairs
-	Failed   uint64 // calls that returned ErrNodeDown
+	Messages uint64 // delivered requests and replies (one each; failed calls count one)
+	Calls    uint64 // request/reply exchanges attempted
+	Failed   uint64 // calls that returned an error (ErrNodeDown, transient faults, cancellation)
+	Retries  uint64 // attempts re-issued by RetryTransport after a transient fault or timeout
+	Timeouts uint64 // attempts cut short by RetryTransport's per-call timeout
 }
 
 // MemTransport is the in-process simulated network. Every registered node is
@@ -290,10 +318,6 @@ func (t *MemTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 			return nil, err
 		}
 	}
-	if err := sleepCtx(ctx, t.latency.OneWay(from, to)); err != nil {
-		return nil, err
-	}
-
 	t.mu.RLock()
 	h, ok := t.handlers[to]
 	down := t.down[to]
@@ -303,11 +327,20 @@ func (t *MemTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 		return nil, fmt.Errorf("cluster: no handler for %v", to)
 	}
 	if down {
+		// Failure detection by timeout: the caller's whole wait for a
+		// crashed node is failTimeout — the detection budget subsumes the
+		// propagation delay, so the down path pays failTimeout *instead of*
+		// the request-leg latency (charging both would double-bill failure
+		// detection). Only the lost request is counted in Stats.Messages;
+		// there is no reply leg.
 		t.failed.Add(1)
 		if err := sleepCtx(ctx, t.failTimeout); err != nil {
 			return nil, err
 		}
 		return nil, ErrNodeDown
+	}
+	if err := sleepCtx(ctx, t.latency.OneWay(from, to)); err != nil {
+		return nil, err
 	}
 
 	var resp any

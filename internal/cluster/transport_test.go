@@ -102,6 +102,99 @@ func TestMulticastCollectsAllReplies(t *testing.T) {
 	}
 }
 
+// Regression: a call to a down node pays only the failure-detection timeout
+// (not request latency + failTimeout, which double-charged detection) and
+// counts exactly one message — the lost request; there is no reply leg.
+func TestMemTransportDownAccounting(t *testing.T) {
+	tr := NewMemTransport(
+		WithLatency(UniformLatency{Base: 200 * time.Millisecond}),
+		WithFailTimeout(10*time.Millisecond),
+	)
+	tr.Register(1, echoHandler)
+	tr.Fail(1)
+	start := time.Now()
+	_, err := tr.Call(context.Background(), 0, 1, "x")
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed >= 150*time.Millisecond {
+		t.Fatalf("down call took %v: latency charged on top of failTimeout", elapsed)
+	}
+	st := tr.Stats()
+	if st.Messages != 1 {
+		t.Fatalf("failed call counted %d messages, want 1 (the lost request)", st.Messages)
+	}
+	if st.Calls != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// mixedTransport scripts a different outcome per destination node.
+type mixedTransport struct{}
+
+func (mixedTransport) Call(ctx context.Context, _, to proto.NodeID, req any) (any, error) {
+	switch to {
+	case 2:
+		return nil, ErrNodeDown
+	case 3:
+		<-ctx.Done() // blocks until the multicast's context is cancelled
+		return nil, ctx.Err()
+	default:
+		return req, nil
+	}
+}
+
+// Multicast under mixed outcomes: some legs ErrNodeDown, some cancelled,
+// some OK — every leg must report its own outcome in order.
+func TestMulticastMixedOutcomes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	replies := Multicast(ctx, mixedTransport{}, 0, []proto.NodeID{1, 2, 3, 4}, "ping")
+	if len(replies) != 4 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	byNode := map[proto.NodeID]Reply{}
+	for _, r := range replies {
+		byNode[r.Node] = r
+	}
+	for _, n := range []proto.NodeID{1, 4} {
+		if r := byNode[n]; r.Err != nil || r.Resp != "ping" {
+			t.Fatalf("node %v: %+v", n, r)
+		}
+	}
+	if r := byNode[2]; !errors.Is(r.Err, ErrNodeDown) {
+		t.Fatalf("node 2 err = %v, want ErrNodeDown", r.Err)
+	}
+	if r := byNode[3]; !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("node 3 err = %v, want context.Canceled", r.Err)
+	}
+	if r := byNode[3]; errors.Is(r.Err, ErrNodeDown) {
+		t.Fatal("cancelled leg must not read as a node crash")
+	}
+}
+
+// TreeMetricLatency must be symmetric and charge self-calls only the local
+// cost, mirroring treeDistance's metric properties.
+func TestTreeMetricLatencySymmetry(t *testing.T) {
+	m := TreeMetricLatency{PerHop: time.Millisecond, Local: 100 * time.Microsecond}
+	for a := 0; a < 40; a++ {
+		for b := 0; b < 40; b++ {
+			ab := m.OneWay(proto.NodeID(a), proto.NodeID(b))
+			ba := m.OneWay(proto.NodeID(b), proto.NodeID(a))
+			if ab != ba {
+				t.Fatalf("OneWay(%d,%d)=%v != OneWay(%d,%d)=%v", a, b, ab, b, a, ba)
+			}
+		}
+		if d := m.OneWay(proto.NodeID(a), proto.NodeID(a)); d != m.Local {
+			t.Fatalf("self-call latency OneWay(%d,%d) = %v, want Local %v", a, a, d, m.Local)
+		}
+	}
+}
+
 func TestTxTimeSerializesSender(t *testing.T) {
 	// With sender transmission time, a 5-leg multicast must take ~5 slots,
 	// while 5 parallel unicasts from distinct senders overlap.

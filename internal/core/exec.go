@@ -279,10 +279,14 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, prep)
 
 	allOK := true
-	var callErr error
+	var callErr, cancelErr error
 	for _, rep := range replies {
 		if rep.Err != nil {
-			callErr = rep.Err
+			if isCtxErr(rep.Err) && tx.ctx.Err() != nil {
+				cancelErr = tx.ctx.Err()
+			} else {
+				callErr = rep.Err
+			}
 			allOK = false
 			continue
 		}
@@ -298,13 +302,23 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 	if !allOK {
 		// Release any locks (object or abstract) taken by nodes that voted
 		// yes. Abort is idempotent and only releases this transaction's
-		// own acquisitions.
+		// own acquisitions. The release must outlive a cancelled transaction
+		// context — leaked prepare locks would wedge every later writer of
+		// the same objects — so it runs under its own bounded context.
 		if len(writes) > 0 || len(absLocks) > 0 {
+			dctx, cancel := context.WithTimeout(context.WithoutCancel(tx.ctx), 2*time.Second)
 			dec := proto.DecideReq{Txn: tx.id, Commit: false, Writes: writes}
-			cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, dec)
+			cluster.Multicast(dctx, tx.rt.trans, tx.rt.node, writeQ, dec)
+			cancel()
+		}
+		if cancelErr != nil {
+			// The transaction's context ended; surface that instead of
+			// reconfiguring around a node that may be perfectly healthy.
+			return cancelErr
 		}
 		if callErr != nil {
-			// A write-quorum member is down: reconfigure before retrying.
+			// A write-quorum member is down (the transport's retry budget,
+			// if any, is already spent): reconfigure before retrying.
 			m.QuorumRefreshes.Add(1)
 			if err := tx.rt.RefreshQuorums(); err != nil {
 				return err

@@ -2,12 +2,21 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/proto"
 )
+
+// isCtxErr reports whether err is (or wraps) a context error — the typed
+// identity the transports now preserve, letting the engine tell "my caller
+// gave up" apart from "the replica is unreachable". Only the latter may
+// trigger quorum reconfiguration.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // sleepCtx sleeps for d unless the context is cancelled first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -287,6 +296,12 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 		var callErr error
 		for _, rep := range replies {
 			if rep.Err != nil {
+				if isCtxErr(rep.Err) && tx.ctx.Err() != nil {
+					// The transaction's own context ended mid-multicast; a
+					// cancelled leg says nothing about the peer's health, so
+					// it must not trigger a quorum refresh.
+					return nil, tx.ctx.Err()
+				}
 				callErr = rep.Err
 				continue
 			}

@@ -475,6 +475,43 @@ func QuorumShape(_ context.Context, s Scale) ([]Table, error) {
 	return []Table{t}, nil
 }
 
+// TransientFaults measures QR-CN/QR-CHK under message-level transient
+// faults: requests are dropped with increasing probability while a
+// RetryTransport masks the loss with bounded retries. The zero-rate row runs
+// without the retry layer as the baseline. Drop rates above zero are only
+// run *with* retries: under at-most-once delivery a dropped commit decision
+// leaves prepare locks wedged on the write quorum forever, which is exactly
+// the availability argument for the retry layer (see DESIGN.md §7).
+func TransientFaults(ctx context.Context, s Scale) ([]Table, error) {
+	t := Table{
+		ID:     "faults",
+		Title:  "throughput under transient request drops (retry-masked)",
+		Header: []string{"mode", "drop%", "txn/s", "aborts/txn", "retries", "dropped", "refreshes"},
+	}
+	rates := []float64{0, 0.02, 0.10}
+	for _, mode := range []core.Mode{core.Closed, core.Checkpoint} {
+		for _, rate := range rates {
+			cfg := s.config("hashmap", benchDefaults["hashmap"], mode)
+			cfg.DropRate = rate
+			if rate > 0 {
+				cfg.RetryAttempts = 8
+			}
+			res, err := Run(ctx, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("faults %v rate=%.2f: %w", mode, rate, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				mode.String(), f0(rate * 100), f1(res.Throughput),
+				fmt.Sprintf("%.2f", res.AbortRate()),
+				fmt.Sprint(res.Transport.Retries),
+				fmt.Sprint(res.Faults.Dropped),
+				fmt.Sprint(res.Client.QuorumRefreshes),
+			})
+		}
+	}
+	return []Table{t}, nil
+}
+
 // Experiment is a named experiment generator.
 type Experiment func(context.Context, Scale) ([]Table, error)
 
@@ -494,9 +531,10 @@ var Experiments = map[string]Experiment{
 	"ablopen": OpenNesting,
 	"ntfa":    NestingGain,
 	"quorums": QuorumShape,
+	"faults":  TransientFaults,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
-	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "chkovh", "ablrqv", "ablchk", "ablcm", "ablopen", "ntfa", "quorums",
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "chkovh", "ablrqv", "ablchk", "ablcm", "ablopen", "ntfa", "quorums", "faults",
 }

@@ -55,6 +55,17 @@ type Config struct {
 	SpreadReads bool
 	// FailNodes crash before the run starts (Figure 10).
 	FailNodes []proto.NodeID
+	// DropRate injects message-level request drops with the given
+	// probability via a FaultTransport decorator (default 0 = off). Unlike
+	// FailNodes' crash-stop model, drops are transient: the replica is
+	// healthy, the message is lost.
+	DropRate float64
+	// RetryAttempts, when > 0, interposes a RetryTransport with that total
+	// per-call attempt budget, masking transient faults before they surface
+	// to the engine as ErrNodeDown. With drops injected and no retry layer,
+	// a lost commit decision can leave prepare locks wedged forever, so
+	// DropRate > 0 should be paired with RetryAttempts > 0.
+	RetryAttempts int
 	// Verify runs the workload's invariant checks after the run.
 	Verify bool
 }
@@ -98,6 +109,7 @@ type Result struct {
 
 	Client    core.MetricsSnapshot
 	Transport cluster.Stats
+	Faults    cluster.FaultCounts
 
 	ReadQuorumSize  int
 	WriteQuorumSize int
@@ -130,6 +142,31 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
+	// Optional robustness/fault-injection layering around the simulated
+	// network: FaultTransport drops requests, RetryTransport masks them.
+	var faultT *cluster.FaultTransport
+	var retryT *cluster.RetryTransport
+	var wrap func(cluster.Transport) cluster.Transport
+	if cfg.DropRate > 0 || cfg.RetryAttempts > 0 {
+		wrap = func(inner cluster.Transport) cluster.Transport {
+			tr := inner
+			if cfg.DropRate > 0 {
+				faultT = cluster.NewFaultTransport(tr, cfg.Seed)
+				faultT.SetDropRate(cfg.DropRate)
+				tr = faultT
+			}
+			if cfg.RetryAttempts > 0 {
+				retryT = cluster.NewRetryTransport(tr, cluster.RetryPolicy{
+					MaxAttempts: cfg.RetryAttempts,
+					BackoffBase: time.Millisecond,
+					BackoffMax:  8 * time.Millisecond,
+				})
+				tr = retryT
+			}
+			return tr
+		}
+	}
+
 	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{
 		Nodes:           cfg.Nodes,
 		Mode:            cfg.Mode,
@@ -143,8 +180,9 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		// Full-abort retries back off at commit-window scale, mirroring
 		// the paper's testbed where a retry inherently costs a ~30 ms
 		// request round before it can conflict again.
-		BackoffBase: 2 * time.Millisecond,
-		BackoffMax:  16 * time.Millisecond,
+		BackoffBase:   2 * time.Millisecond,
+		BackoffMax:    16 * time.Millisecond,
+		WrapTransport: wrap,
 	})
 	if err != nil {
 		return Result{}, err
@@ -168,6 +206,14 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	c.Transport.ResetStats()
 	before := c.Metrics().Snapshot()
+	var retryBefore cluster.Stats
+	if retryT != nil {
+		retryBefore = retryT.Stats()
+	}
+	var faultsBefore cluster.FaultCounts
+	if faultT != nil {
+		faultsBefore = faultT.Faults()
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -207,6 +253,19 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Transport:       c.Transport.Stats(),
 		ReadQuorumSize:  runtimes[0].ReadQuorumSize(),
 		WriteQuorumSize: runtimes[0].WriteQuorumSize(),
+	}
+	if retryT != nil {
+		rs := retryT.Stats()
+		res.Transport.Retries = rs.Retries - retryBefore.Retries
+		res.Transport.Timeouts = rs.Timeouts - retryBefore.Timeouts
+	}
+	if faultT != nil {
+		fs := faultT.Faults()
+		res.Faults = cluster.FaultCounts{
+			Dropped:     fs.Dropped - faultsBefore.Dropped,
+			Duplicated:  fs.Duplicated - faultsBefore.Duplicated,
+			Partitioned: fs.Partitioned - faultsBefore.Partitioned,
+		}
 	}
 
 	if cfg.Verify {

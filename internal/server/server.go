@@ -67,6 +67,15 @@ func (r *Replica) Metrics() *Metrics { return &r.metrics }
 // Handle dispatches one protocol message. Unknown message types panic: a
 // type confusion between client and server is a programming error, not a
 // runtime condition.
+//
+// Delivery contract: with the cluster layer's RetryTransport (and
+// FaultTransport's duplicate injection) a request may be delivered more than
+// once — a reply lost to a connection reset is retried by the client even
+// though the first delivery was applied. Every mutating handler is therefore
+// idempotent: a re-delivered PrepareReq re-votes yes because the objects are
+// already protected by the same transaction; Commit only installs versions
+// strictly newer than the stored one; Abort and Release only undo the named
+// transaction's own acquisitions.
 func (r *Replica) Handle(_ proto.NodeID, req any) any {
 	switch m := req.(type) {
 	case proto.ReadReq:

@@ -127,6 +127,12 @@ type ClusterConfig struct {
 	// BackoffBase/BackoffMax tune full-abort backoff (see core.Config).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// WrapTransport, when set, decorates the transport the runtimes issue
+	// calls through (e.g. cluster.NewFaultTransport for message-level fault
+	// injection, cluster.NewRetryTransport for transient-fault masking).
+	// Cluster.Transport remains the underlying MemTransport, so crash
+	// injection (Fail/Recover/Down) and message accounting are unaffected.
+	WrapTransport func(cluster.Transport) cluster.Transport
 }
 
 // Cluster is a simulated QR-DTM deployment: replicas, transport, quorum
@@ -136,10 +142,11 @@ type Cluster struct {
 	Tree      *quorum.Tree
 	Replicas  []*server.Replica
 
-	cfg      ClusterConfig
-	metrics  *core.Metrics
-	ids      *core.IDGen
-	provider core.QuorumProvider
+	cfg       ClusterConfig
+	metrics   *core.Metrics
+	ids       *core.IDGen
+	provider  core.QuorumProvider
+	callTrans cluster.Transport // transport runtimes call through (possibly decorated)
 
 	mu       sync.Mutex
 	runtimes map[NodeID]*Runtime
@@ -173,6 +180,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		r := server.New(NodeID(i))
 		c.Replicas = append(c.Replicas, r)
 		t.Register(NodeID(i), r.Handle)
+	}
+	c.callTrans = cluster.Transport(t)
+	if cfg.WrapTransport != nil {
+		c.callTrans = cfg.WrapTransport(c.callTrans)
 	}
 	return c, nil
 }
@@ -210,7 +221,7 @@ func (c *Cluster) Runtime(node NodeID) *Runtime {
 	}
 	rt, err := core.NewRuntime(core.Config{
 		Node:            node,
-		Transport:       c.Transport,
+		Transport:       c.callTrans,
 		Quorums:         c.quorumProvider(),
 		Mode:            c.cfg.Mode,
 		IDs:             c.ids,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
@@ -228,3 +229,103 @@ func TestTCPClusterCheckpointedSteps(t *testing.T) {
 type tcpState struct{ A, B int64 }
 
 func (s *tcpState) CloneState() core.State { out := *s; return &out }
+
+// TestTCPReplicaRestartWithRetry is the acceptance scenario for the cluster
+// robustness layer: a write-quorum replica is killed and restarted mid-
+// workload. With RetryTransport masking the transient connection faults, the
+// run commits every transaction with zero spurious ErrNodeDown-driven full
+// aborts and zero quorum reconfigurations during the restart window, and the
+// transport stats report the retries that absorbed the outage.
+func TestTCPReplicaRestartWithRetry(t *testing.T) {
+	const txns = 30
+	tc := startTCPCluster(t, 4)
+	tc.load([]proto.ObjectCopy{{ID: "ctr", Version: 1, Val: proto.Int64(0)}})
+
+	trans := cluster.NewRetryTransport(tc.trans, cluster.RetryPolicy{
+		MaxAttempts: 10,
+		CallTimeout: time.Second,
+		BackoffBase: 20 * time.Millisecond,
+		BackoffMax:  200 * time.Millisecond,
+	})
+	metrics := &core.Metrics{}
+	rt, err := core.NewRuntime(core.Config{
+		Node:      0,
+		Transport: trans,
+		Quorums:   core.TreeQuorums{Tree: tc.tree},
+		Mode:      core.Closed,
+		Metrics:   metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 is a member of the canonical write quorum for 4 nodes; its
+	// outage stalls every prepare/decide round until retries ride it out.
+	victim := proto.NodeID(1)
+	addr := tc.servers[victim].Addr()
+
+	restartErr := make(chan error, 1)
+	ctx := context.Background()
+	for i := 0; i < txns; i++ {
+		if i == 5 {
+			// Kill the victim between transactions; the restart lands while
+			// the remaining transactions are still running, so their calls
+			// must ride out refused dials and reset pooled connections.
+			if err := tc.servers[victim].Close(); err != nil {
+				t.Fatalf("closing victim: %v", err)
+			}
+			go func() {
+				time.Sleep(150 * time.Millisecond) // the restart window
+				srv, err := cluster.ListenTCP(victim, addr, tc.replicas[victim].Handle)
+				if err != nil {
+					restartErr <- fmt.Errorf("restarting victim: %w", err)
+					return
+				}
+				tc.servers[victim] = srv // cleanup closes the new server
+				restartErr <- nil
+			}()
+		}
+		err := rt.Atomic(ctx, func(tx *core.Txn) error {
+			v, err := tx.Read("ctr")
+			if err != nil {
+				return err
+			}
+			return tx.Write("ctr", v.(proto.Int64)+1)
+		})
+		if err != nil {
+			t.Fatalf("txn %d failed across the restart window: %v", i, err)
+		}
+	}
+	if err := <-restartErr; err != nil {
+		t.Fatal(err)
+	}
+
+	if got := metrics.Commits.Load(); got != txns {
+		t.Fatalf("commits = %d, want %d", got, txns)
+	}
+	// A single client has no contention: any full abort would be a spurious
+	// ErrNodeDown-driven one, and any quorum refresh means the restart was
+	// treated as a crash instead of a transient outage.
+	if got := metrics.RootAborts.Load(); got != 0 {
+		t.Fatalf("spurious full aborts during restart window: %d", got)
+	}
+	if got := metrics.QuorumRefreshes.Load(); got != 0 {
+		t.Fatalf("quorum refreshes during restart window: %d", got)
+	}
+	if st := trans.Stats(); st.Retries == 0 {
+		t.Fatal("expected transport retries to have absorbed the outage")
+	}
+
+	// The committed counter must equal the transaction count on every
+	// write-quorum member, the restarted victim included.
+	wq, err := tc.tree.WriteQuorum(quorum.AllAlive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range wq {
+		got, ok := tc.replicas[n].Store().Get("ctr")
+		if !ok || got.Val.(proto.Int64) != txns {
+			t.Fatalf("replica %v: ctr = %+v ok=%v, want %d", n, got, ok, txns)
+		}
+	}
+}
