@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick exp exp-quick fmt cover clean check
+.PHONY: all build vet test race bench bench-quick bench-obs exp exp-quick fmt cover clean check
 
 all: build vet test
 
@@ -16,12 +16,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/
+	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/
 
-# Fast pre-commit gate: vet plus the race-detected transport and engine suites.
+# Fast pre-commit gate: vet plus the race-detected transport, engine and
+# observability suites.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/cluster/... ./internal/core/...
+	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/...
 
 # Every paper artifact as a Go benchmark (throughput via b.ReportMetric).
 bench:
@@ -29,6 +30,10 @@ bench:
 
 bench-quick:
 	$(GO) test -bench='LocalTxn|StoreValidate|QuorumConstruction' -benchmem .
+
+# Per-protocol latency percentiles and abort-cause breakdown → BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/qr-bench -exp obs -quick
 
 # Regenerate the paper's figures and tables.
 exp:

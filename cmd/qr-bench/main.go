@@ -31,8 +31,10 @@ func main() {
 	txns := flag.Int("txns", 0, "override transactions per client")
 	nodes := flag.Int("nodes", 0, "override replica count")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
+	obsOut := flag.String("obs-out", harness.BenchObsPath, "output path for the obs experiment's JSON (empty disables)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+	harness.BenchObsPath = *obsOut
 
 	if *list {
 		for _, id := range harness.ExperimentOrder {

@@ -12,6 +12,14 @@
 // Then run transactions against it:
 //
 //	qr-node -client -peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403
+//
+// Either mode takes -admin addr to expose a live-inspection HTTP surface
+// (JSON metrics, liveness, profiling):
+//
+//	qr-node -id 0 -listen 127.0.0.1:7400 -admin 127.0.0.1:7500 &
+//	curl -s 127.0.0.1:7500/metrics | head
+//	curl -s 127.0.0.1:7500/healthz
+//	go tool pprof http://127.0.0.1:7500/debug/pprof/profile?seconds=5
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
 	"qrdtm/internal/server"
@@ -40,21 +49,38 @@ func main() {
 	txns := flag.Int("txns", 20, "demo transactions to run (client mode)")
 	retries := flag.Int("retries", 6, "per-call attempt budget for transient faults (client mode; 1 disables retry)")
 	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-attempt call timeout (client mode; 0 disables)")
+	admin := flag.String("admin", "", "admin HTTP address serving /metrics, /healthz, /debug/pprof/ (empty disables)")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	rep := server.New(proto.NodeID(*id))
+	reg := obs.NewRegistry()
+	rep := server.New(proto.NodeID(*id)).WithObs(reg)
 	srv, err := cluster.ListenTCP(proto.NodeID(*id), *listen, rep.Handle)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("qr-node %d serving on %s", *id, srv.Addr())
+
+	if *admin != "" {
+		a := obs.NewAdmin().
+			Source("node", func() any {
+				return map[string]any{"id": *id, "addr": srv.Addr(), "role": "replica"}
+			}).
+			Source("server", func() any { return rep.Metrics().Snapshot() }).
+			Source("obs", func() any { return reg.Snapshot() })
+		addr, shutdown, err := a.ListenAndServe(*admin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		log.Printf("qr-node %d admin on http://%s/metrics", *id, addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -78,7 +104,7 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration) error {
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin string) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -101,14 +127,32 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 		CallTimeout: callTimeout,
 	})
 	tree := quorum.NewTree(len(addrs))
+	reg := obs.NewRegistry()
 	rt, err := core.NewRuntime(core.Config{
 		Node:      proto.NodeID(0),
 		Transport: trans,
 		Quorums:   core.TreeQuorums{Tree: tree},
 		Mode:      mode,
+		Obs:       reg,
 	})
 	if err != nil {
 		return err
+	}
+
+	if admin != "" {
+		a := obs.NewAdmin().
+			Source("node", func() any {
+				return map[string]any{"role": "client", "mode": mode.String(), "peers": len(addrs)}
+			}).
+			Source("core", func() any { return rt.Metrics().Snapshot() }).
+			Source("transport", func() any { return trans.Stats() }).
+			Source("obs", func() any { return reg.Snapshot() })
+		addr, shutdown, err := a.ListenAndServe(admin)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		log.Printf("client admin on http://%s/metrics", addr)
 	}
 
 	ctx := context.Background()
@@ -157,8 +201,14 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 	}
 	m := rt.Metrics().Snapshot()
 	st := trans.Stats()
+	snap := reg.Snapshot()
+	lat := snap.Sites[obs.SiteTxnLatency.String()]
 	fmt.Printf("counter = %d after %d transactions over TCP (%v mode)\n", final, txns, mode)
 	fmt.Printf("commits = %d, aborts = %d, read requests = %d, messages = %d, retries = %d, timeouts = %d\n",
 		m.Commits, m.RootAborts+m.CTAborts, m.ReadRequests, st.Messages, st.Retries, st.Timeouts)
+	fmt.Printf("txn latency: p50=%.1fms p99=%.1fms\n", lat.P50Ms, lat.P99Ms)
+	fmt.Printf("abort causes: read-validation=%d lock-denied=%d commit-conflict=%d node-down=%d\n",
+		snap.Aborts["read-validation"], snap.Aborts["lock-denied"],
+		snap.Aborts["commit-conflict"], snap.Aborts["node-down"])
 	return nil
 }

@@ -5,6 +5,7 @@
 //	qr-quorum -nodes 13
 //	qr-quorum -nodes 28 -down 0,1,2
 //	qr-quorum -nodes 13 -enumerate
+//	qr-quorum -nodes 28 -bench 100000   # time quorum construction
 package main
 
 import (
@@ -13,7 +14,9 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
 )
@@ -23,6 +26,7 @@ func main() {
 	downList := flag.String("down", "", "comma-separated crashed node ids")
 	choices := flag.Int("choices", 4, "how many alternative quorums to show")
 	enumerate := flag.Bool("enumerate", false, "enumerate all quorums (small trees)")
+	benchN := flag.Int("bench", 0, "time N read+write quorum constructions and print percentiles")
 	flag.Parse()
 
 	tree := quorum.NewTree(*nodes)
@@ -70,6 +74,25 @@ func main() {
 				fmt.Printf("  %v\n", q)
 			}
 		}
+	}
+
+	if *benchN > 0 {
+		// Quorum construction runs on every transaction start and on every
+		// reconfiguration, so its latency distribution matters; the choice
+		// index cycles to cover the load-spreading variants too.
+		hist := obs.NewHistogram()
+		for i := 0; i < *benchN; i++ {
+			t0 := time.Now()
+			_, errR := tree.ReadQuorumChoice(alive, i)
+			_, errW := tree.WriteQuorum(alive)
+			hist.Record(int64(time.Since(t0)))
+			if errR != nil || errW != nil {
+				fmt.Fprintln(os.Stderr, "qr-quorum: no quorum under this failure set")
+				os.Exit(1)
+			}
+		}
+		s := hist.Snapshot()
+		fmt.Printf("\nquorum construction (%d iterations, read+write pair): %s\n", *benchN, s)
 	}
 
 	if *enumerate {

@@ -18,10 +18,13 @@ func main() {
 
 	// A 13-node replicated cluster (a full 3-level ternary tree) with a
 	// simulated metric-space network, running the closed-nesting protocol.
+	// The registry collects per-transaction latency and abort attribution.
+	reg := qrdtm.NewRegistry()
 	c, err := qrdtm.NewCluster(qrdtm.ClusterConfig{
 		Nodes:  13,
 		Mode:   qrdtm.Closed,
 		TxTime: time.Millisecond, // sender-side transmission cost; multicasts pay per leg
+		Obs:    reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -85,10 +88,16 @@ func main() {
 	}
 
 	m := c.Metrics().Snapshot()
+	snap := reg.Snapshot()
+	lat := snap.Sites["txn_latency"]
 	fmt.Printf("greeting            = %q\n", greeting)
 	fmt.Printf("commits             = %d (local: %d)\n", m.Commits, m.LocalCommits)
 	fmt.Printf("nested commits      = %d\n", m.CTCommits)
 	fmt.Printf("read requests       = %d\n", m.ReadRequests)
 	fmt.Printf("commit requests     = %d\n", m.CommitRequests)
 	fmt.Printf("transport messages  = %d\n", c.Transport.Stats().Messages)
+	fmt.Printf("txn latency: p50=%.1fms p99=%.1fms\n", lat.P50Ms, lat.P99Ms)
+	fmt.Printf("abort causes: read-validation=%d lock-denied=%d commit-conflict=%d node-down=%d\n",
+		snap.Aborts["read-validation"], snap.Aborts["lock-denied"],
+		snap.Aborts["commit-conflict"], snap.Aborts["node-down"])
 }

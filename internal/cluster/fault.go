@@ -126,12 +126,19 @@ func (t *FaultTransport) Faults() FaultCounts {
 	}
 }
 
-// Stats passes through the inner transport's counters.
+// Stats merges the inner transport's counters (when it exposes them) with
+// this decorator's injected-fault counters, so the injection record survives
+// any decorator stacking order (see the Stats decorator contract).
 func (t *FaultTransport) Stats() Stats {
+	var s Stats
 	if src, ok := t.inner.(StatsSource); ok {
-		return src.Stats()
+		s = src.Stats()
 	}
-	return Stats{}
+	return s.merge(Stats{
+		Dropped:     t.dropped.Load(),
+		Duplicated:  t.duplicated.Load(),
+		Partitioned: t.partitioned.Load(),
+	})
 }
 
 // roll samples the per-call fault decisions under one lock acquisition.

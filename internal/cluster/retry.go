@@ -72,15 +72,14 @@ func NewRetryTransport(inner Transport, policy RetryPolicy) *RetryTransport {
 }
 
 // Stats merges the inner transport's counters (when it exposes them) with
-// this decorator's retry/timeout counters.
+// this decorator's retry/timeout counters, per the Stats decorator contract
+// (inner snapshot plus own counters only, stacking-order independent).
 func (t *RetryTransport) Stats() Stats {
 	var s Stats
 	if src, ok := t.inner.(StatsSource); ok {
 		s = src.Stats()
 	}
-	s.Retries += t.retries.Load()
-	s.Timeouts += t.timeouts.Load()
-	return s
+	return s.merge(Stats{Retries: t.retries.Load(), Timeouts: t.timeouts.Load()})
 }
 
 // backoff returns the randomized sleep before retrying after attempt n.

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+// statsStub is a StatsSource transport with fixed counters, standing in for
+// an inner transport (or a whole decorator stack below the one under test).
+type statsStub struct {
+	stats Stats
+}
+
+func (s *statsStub) Call(_ context.Context, _, _ proto.NodeID, _ any) (any, error) {
+	return nil, nil
+}
+
+func (s *statsStub) Stats() Stats { return s.stats }
+
+// innerStats is the distinctive counter set every decorator must preserve.
+var innerStats = Stats{
+	Messages: 100, Calls: 50, Failed: 7,
+	Retries: 3, Timeouts: 2,
+	Dropped: 11, Duplicated: 5, Partitioned: 1,
+}
+
+// TestStatsSourceConformance checks the decorator contract for every
+// transport decorator: Stats() must equal the inner transport's snapshot
+// plus the decorator's own counters — nothing dropped, nothing double
+// counted — regardless of what the inner layer is.
+func TestStatsSourceConformance(t *testing.T) {
+	decorators := map[string]func(Transport) StatsSource{
+		"RetryTransport": func(inner Transport) StatsSource {
+			return NewRetryTransport(inner, RetryPolicy{})
+		},
+		"FaultTransport": func(inner Transport) StatsSource {
+			return NewFaultTransport(inner, 1)
+		},
+	}
+	for name, build := range decorators {
+		t.Run(name, func(t *testing.T) {
+			dec := build(&statsStub{stats: innerStats})
+			if got := dec.Stats(); got != innerStats {
+				t.Errorf("fresh decorator dropped or altered inner counters:\n got  %+v\n want %+v", got, innerStats)
+			}
+			// A non-StatsSource inner must degrade to the decorator's own
+			// counters, not panic.
+			decBare := build(bareTransport{})
+			if got := decBare.Stats(); got != (Stats{}) {
+				t.Errorf("bare inner: got %+v, want zero", got)
+			}
+		})
+	}
+}
+
+// bareTransport is a Transport without Stats.
+type bareTransport struct{}
+
+func (bareTransport) Call(_ context.Context, _, _ proto.NodeID, _ any) (any, error) {
+	return nil, nil
+}
+
+// TestStatsStackingOrderIndependent is the regression test for the dropped-
+// counter bug: with the decorators stacked in either order around a counting
+// inner transport, the outermost Stats() must report the retry counters AND
+// the injected-fault counters.
+func TestStatsStackingOrderIndependent(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("Retry(Fault(Mem))", func(t *testing.T) {
+		mem := NewMemTransport()
+		mem.Register(1, func(_ proto.NodeID, _ any) any { return "ok" })
+		fault := NewFaultTransport(mem, 42)
+		retry := NewRetryTransport(fault, RetryPolicy{MaxAttempts: 2, BackoffBase: 1, BackoffMax: 1})
+		fault.SetDropRate(1) // every attempt is dropped, then retried by Retry
+		for i := 0; i < 3; i++ {
+			_, _ = retry.Call(ctx, 0, 1, "req")
+		}
+		s := retry.Stats()
+		if s.Dropped == 0 {
+			t.Errorf("fault counters dropped from stack: %+v", s)
+		}
+		if s.Retries == 0 {
+			t.Errorf("retry counters dropped from stack: %+v", s)
+		}
+	})
+
+	t.Run("Fault(Retry(Mem))", func(t *testing.T) {
+		mem := NewMemTransport()
+		mem.Register(1, func(_ proto.NodeID, _ any) any { return "ok" })
+		retry := NewRetryTransport(mem, RetryPolicy{MaxAttempts: 2, BackoffBase: 1, BackoffMax: 1})
+		fault := NewFaultTransport(retry, 42)
+		for i := 0; i < 3; i++ { // successful calls reach the inner Mem
+			_, _ = fault.Call(ctx, 0, 1, "req")
+		}
+		fault.SetDropRate(1) // drops above the retry layer
+		for i := 0; i < 3; i++ {
+			_, _ = fault.Call(ctx, 0, 1, "req")
+		}
+		s := fault.Stats()
+		if s.Dropped == 0 {
+			t.Errorf("fault counters dropped from stack: %+v", s)
+		}
+		// The point of the contract: the inner layers' counters must not
+		// vanish from the outermost snapshot in this stacking order either.
+		if s.Calls == 0 || s.Messages == 0 {
+			t.Errorf("inner MemTransport counters dropped from stack: %+v", s)
+		}
+	})
+}

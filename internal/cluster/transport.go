@@ -168,12 +168,36 @@ func treeDepth(i int) int {
 // reply). A failed call counts exactly one — the request that went
 // unanswered; there is no reply leg to charge, and the failure-detection
 // wait is time, not traffic.
+// Decorator contract: every decorator's Stats() starts from its inner
+// transport's snapshot (when the inner is a StatsSource) and adds only its
+// own counters, so any stacking order — Retry(Fault(Mem)),
+// Fault(Retry(Mem)), … — yields the same totals and no layer's counters are
+// silently dropped. stats_test.go holds the conformance test.
 type Stats struct {
 	Messages uint64 // delivered requests and replies (one each; failed calls count one)
 	Calls    uint64 // request/reply exchanges attempted
 	Failed   uint64 // calls that returned an error (ErrNodeDown, transient faults, cancellation)
 	Retries  uint64 // attempts re-issued by RetryTransport after a transient fault or timeout
 	Timeouts uint64 // attempts cut short by RetryTransport's per-call timeout
+
+	// Fault-injection counters contributed by FaultTransport decorators.
+	Dropped     uint64 // requests failed by injected drops
+	Duplicated  uint64 // requests delivered twice by injected duplication
+	Partitioned uint64 // requests failed by injected link partitions
+}
+
+// merge returns s plus o field-wise (decorators fold inner snapshots in).
+func (s Stats) merge(o Stats) Stats {
+	return Stats{
+		Messages:    s.Messages + o.Messages,
+		Calls:       s.Calls + o.Calls,
+		Failed:      s.Failed + o.Failed,
+		Retries:     s.Retries + o.Retries,
+		Timeouts:    s.Timeouts + o.Timeouts,
+		Dropped:     s.Dropped + o.Dropped,
+		Duplicated:  s.Duplicated + o.Duplicated,
+		Partitioned: s.Partitioned + o.Partitioned,
+	}
 }
 
 // MemTransport is the in-process simulated network. Every registered node is

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"qrdtm/internal/cluster"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 )
 
@@ -143,6 +144,11 @@ type Config struct {
 	// Metrics receives this runtime's counters; defaults to a fresh
 	// Metrics. Share one instance across runtimes to aggregate.
 	Metrics *Metrics
+	// Obs receives latency histograms, abort-cause attribution and trace
+	// events (see internal/obs). nil — the default — disables all
+	// observability recording at zero hot-path cost; share one Registry
+	// across runtimes to aggregate, as with Metrics.
+	Obs *obs.Registry
 	// CheckpointEvery is the footprint growth (objects acquired) that
 	// triggers automatic checkpoint creation in Checkpoint mode.
 	// Default 2. The paper attributes QR-CHK's slowdown to checkpoints
@@ -179,6 +185,7 @@ type Runtime struct {
 	mode    Mode
 	ids     *IDGen
 	metrics *Metrics
+	obs     *obs.Registry // nil disables observability (methods no-op)
 
 	chkEvery    int
 	chkCost     time.Duration
@@ -207,6 +214,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		mode:        cfg.Mode,
 		ids:         cfg.IDs,
 		metrics:     cfg.Metrics,
+		obs:         cfg.Obs,
 		chkEvery:    cfg.CheckpointEvery,
 		chkCost:     cfg.CheckpointCost,
 		lockWaits:   cfg.LockWaitRetries,
@@ -243,6 +251,9 @@ func (rt *Runtime) Mode() Mode { return rt.mode }
 
 // Metrics returns the runtime's counter set.
 func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
+
+// Obs returns the runtime's observability registry (nil when disabled).
+func (rt *Runtime) Obs() *obs.Registry { return rt.obs }
 
 // RefreshQuorums re-queries the QuorumProvider, replacing the cached
 // quorums. It is called automatically when a quorum member stops responding.
@@ -291,5 +302,7 @@ func (rt *Runtime) backoff(attempt int) {
 	if d <= 0 {
 		return
 	}
-	time.Sleep(time.Duration(rand.Int64N(int64(d))) + rt.backoffBase/2)
+	sleep := time.Duration(rand.Int64N(int64(d))) + rt.backoffBase/2
+	rt.obs.Observe(obs.SiteBackoff, int64(sleep))
+	time.Sleep(sleep)
 }

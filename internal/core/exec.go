@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"qrdtm/internal/cluster"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 )
 
@@ -22,6 +24,7 @@ import (
 // Bodies may run multiple times; they must not have side effects outside
 // the transaction other than idempotent writes to caller state.
 func (rt *Runtime) Atomic(ctx context.Context, body func(*Txn) error) error {
+	t0 := rt.obs.Start()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -44,6 +47,8 @@ func (rt *Runtime) Atomic(ctx context.Context, body func(*Txn) error) error {
 				return ferr
 			}
 			rt.metrics.Commits.Add(1)
+			rt.obs.ObserveSince(obs.SiteTxnLatency, t0)
+			rt.obs.Trace(obs.Event{Kind: obs.EvCommit, Txn: uint64(tx.id)})
 			return nil
 		}
 		if ferr := rt.finishOpen(tx, true); ferr != nil {
@@ -71,7 +76,9 @@ func (rt *Runtime) attemptRoot(tx *Txn, body func(*Txn) error) (aborted bool, er
 	bodyErr := rt.runBody(tx, body)
 	if bodyErr != nil {
 		if errors.Is(bodyErr, errZombie) {
-			return true, nil // staleness already confirmed by runBody
+			// Staleness already confirmed by runBody.
+			tx.noteAbort(obs.CauseReadValidation, 0, proto.NoChk, "")
+			return true, nil
 		}
 		// Engine errors (quorum unavailable, cancellation) are never
 		// zombie symptoms; only application errors warrant revalidation.
@@ -79,6 +86,7 @@ func (rt *Runtime) attemptRoot(tx *Txn, body func(*Txn) error) (aborted bool, er
 			errors.Is(bodyErr, context.Canceled) ||
 			errors.Is(bodyErr, context.DeadlineExceeded)
 		if !rt.mode.Rqv() && !engineErr && tx.snapshotStale() {
+			tx.noteAbort(obs.CauseReadValidation, 0, proto.NoChk, "")
 			return true, nil
 		}
 		return false, bodyErr
@@ -125,7 +133,10 @@ func (tx *Txn) snapshotStale() bool {
 		req.DataSet = []proto.DataItem{}
 	}
 	tx.rt.metrics.ReadRequests.Add(1)
-	for _, rep := range cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req) {
+	t0 := tx.rt.obs.Start()
+	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req)
+	tx.rt.obs.ObserveSince(obs.SiteReadRTT, t0)
+	for _, rep := range replies {
 		if rep.Err != nil {
 			return true
 		}
@@ -275,6 +286,8 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		return fmt.Errorf("%w: empty write quorum", ErrUnavailable)
 	}
 	m.CommitRequests.Add(1)
+	t0 := tx.rt.obs.Start()
+	defer tx.rt.obs.ObserveSince(obs.SiteCommitRTT, t0)
 	prep := proto.PrepareReq{Txn: tx.id, Reads: reads, Writes: writes, AbsLocks: absLocks, Owner: owner}
 	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, prep)
 
@@ -316,14 +329,17 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 			// reconfiguring around a node that may be perfectly healthy.
 			return cancelErr
 		}
+		cause := obs.CauseCommitConflict
 		if callErr != nil {
 			// A write-quorum member is down (the transport's retry budget,
 			// if any, is already spent): reconfigure before retrying.
+			cause = obs.CauseNodeDown
 			m.QuorumRefreshes.Add(1)
 			if err := tx.rt.RefreshQuorums(); err != nil {
 				return err
 			}
 		}
+		tx.noteAbort(cause, 0, proto.NoChk, "")
 		throwAbort(0, proto.NoChk)
 	}
 
@@ -334,11 +350,37 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 			installed[i] = w
 		}
 		dec := proto.DecideReq{Txn: tx.id, Commit: true, Writes: installed}
-		// Crash-stop model: members that fail between prepare and decide
-		// never serve again, so their missed installs are harmless.
-		cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, dec)
+		// Members that crash between prepare and decide miss the install
+		// harmlessly (crash-stop), but a node that RECOVERED in that window
+		// must not: it may already serve in read quorums the prepared write
+		// quorum never intersected. The decision therefore goes to the union
+		// of the prepared quorum and the current one — identical in steady
+		// state (zero extra messages), wider only across a reconfiguration.
+		// Store.Commit is version-guarded and releases only this txn's
+		// locks, so members that never prepared apply it safely.
+		targets := writeQ
+		if _, cur := tx.rt.quorums(); len(cur) > 0 {
+			targets = unionNodes(writeQ, cur)
+		}
+		cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, targets, dec)
 	}
 	return nil
+}
+
+// unionNodes merges two quorums preserving a's order; b's extra members
+// follow. It returns a unchanged (no allocation) when b adds nothing.
+func unionNodes(a, b []proto.NodeID) []proto.NodeID {
+	out := a
+	for _, n := range b {
+		if !slices.Contains(out, n) {
+			if len(out) == len(a) {
+				out = append(slices.Clone(a), n)
+			} else {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
 }
 
 // State is the program state a step-structured transaction carries between
@@ -424,6 +466,7 @@ func snapshotSets(src map[proto.ObjectID]*entry) map[proto.ObjectID]*entry {
 
 // atomicCheckpointed is the QR-CHK execution loop.
 func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps []Step) (State, error) {
+	t0 := rt.obs.Start()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -437,6 +480,7 @@ func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps 
 		}
 		if !aborted {
 			rt.metrics.Commits.Add(1)
+			rt.obs.ObserveSince(obs.SiteTxnLatency, t0)
 			return st, nil
 		}
 		rt.metrics.RootAborts.Add(1)
@@ -475,6 +519,7 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 			tx.chkEpoch++
 			tx.footprint = 0
 			rt.metrics.Checkpoints.Add(1)
+			rt.obs.Trace(obs.Event{Kind: obs.EvCheckpoint, Txn: uint64(tx.id), Chk: tx.chkEpoch})
 			if rt.chkCost > 0 {
 				// Models the execution-state capture the paper's system
 				// pays per checkpoint (Java Continuations on a custom
@@ -495,6 +540,11 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 			// Like CT retries, rollbacks are immediate until they become
 			// persistent (see immediateRetries).
 			rt.metrics.ChkRollbacks.Add(1)
+			rt.obs.Observe(obs.SiteRollbackDepth, int64(i-cps[chk].step))
+			rt.obs.Trace(obs.Event{
+				Kind: obs.EvRollback, Txn: uint64(tx.id),
+				Chk: chk, Note: i - cps[chk].step,
+			})
 			if rollbacks++; rollbacks > immediateRetries {
 				rt.backoff(rollbacks - immediateRetries)
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"qrdtm/internal/cluster"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 )
 
@@ -56,6 +57,25 @@ type abortSignal struct {
 // throwAbort raises an abort targeting the given depth/checkpoint.
 func throwAbort(depth, chk int) {
 	panic(abortSignal{depth: depth, chk: chk})
+}
+
+// noteAbort attributes one abort decision to the observability layer: the
+// cause counter plus a trace event naming the resolved retry target (depth
+// for QR-CN, checkpoint epoch for QR-CHK) and the object whose read hit the
+// denial (empty for commit-time aborts). No-op without a registry.
+func (tx *Txn) noteAbort(cause obs.AbortCause, depth, chk int, objKey proto.ObjectID) {
+	if tx.rt.obs == nil {
+		return
+	}
+	tx.rt.obs.Abort(cause)
+	tx.rt.obs.Trace(obs.Event{
+		Kind:  obs.EvAbort,
+		Txn:   uint64(tx.id),
+		Depth: depth,
+		Cause: cause,
+		Obj:   string(objKey),
+		Chk:   chk,
+	})
 }
 
 // Txn is one (possibly nested) transaction. A Txn is confined to the
@@ -287,7 +307,9 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			return nil, ErrUnavailable
 		}
 		tx.rt.metrics.ReadRequests.Add(1)
+		t0 := tx.rt.obs.Start()
 		replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req)
+		tx.rt.obs.ObserveSince(obs.SiteReadRTT, t0)
 
 		best := proto.ObjectCopy{ID: id}
 		abortDepth, abortChk := proto.NoDepth, proto.NoChk
@@ -343,8 +365,14 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 				continue
 			}
 			// Validation failed somewhere in the footprint: partially or
-			// fully abort, per mode.
-			tx.routeAbort(abortDepth, abortChk)
+			// fully abort, per mode. A denial caused purely by locks (wait
+			// budget exhausted) is attributed to the lock holder, a stale
+			// footprint to read validation.
+			cause := obs.CauseReadValidation
+			if lockOnly {
+				cause = obs.CauseLockDenied
+			}
+			tx.routeAbort(abortDepth, abortChk, cause, id)
 		}
 		if callErr != nil {
 			// A quorum member is unreachable: reconfigure and retry the
@@ -374,8 +402,10 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 	}
 }
 
-// routeAbort converts a validation denial into the mode-appropriate abort.
-func (tx *Txn) routeAbort(abortDepth, abortChk int) {
+// routeAbort converts a validation denial into the mode-appropriate abort,
+// attributing the decision (cause plus the read that hit it) to the
+// observability layer so partial-abort routing is visible in traces.
+func (tx *Txn) routeAbort(abortDepth, abortChk int, cause obs.AbortCause, obj proto.ObjectID) {
 	switch tx.rt.mode {
 	case Closed:
 		d := abortDepth
@@ -387,6 +417,7 @@ func (tx *Txn) routeAbort(abortDepth, abortChk int) {
 			// into an ancestor; the shallowest live scope retries.
 			d = tx.depth
 		}
+		tx.noteAbort(cause, d, proto.NoChk, obj)
 		throwAbort(d, proto.NoChk)
 	case Checkpoint:
 		c := abortChk
@@ -396,8 +427,10 @@ func (tx *Txn) routeAbort(abortDepth, abortChk int) {
 		if c > tx.chkEpoch {
 			c = tx.chkEpoch
 		}
+		tx.noteAbort(cause, 0, c, obj)
 		throwAbort(0, c)
 	default:
+		tx.noteAbort(cause, 0, proto.NoChk, obj)
 		throwAbort(0, proto.NoChk)
 	}
 }

@@ -532,9 +532,10 @@ var Experiments = map[string]Experiment{
 	"ntfa":    NestingGain,
 	"quorums": QuorumShape,
 	"faults":  TransientFaults,
+	"obs":     Obs,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
-	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "chkovh", "ablrqv", "ablchk", "ablcm", "ablopen", "ntfa", "quorums", "faults",
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "chkovh", "ablrqv", "ablchk", "ablcm", "ablopen", "ntfa", "quorums", "faults", "obs",
 }

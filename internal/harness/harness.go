@@ -15,6 +15,7 @@ import (
 	"qrdtm/internal/bench"
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 )
 
@@ -68,6 +69,11 @@ type Config struct {
 	RetryAttempts int
 	// Verify runs the workload's invariant checks after the run.
 	Verify bool
+	// Obs, when set, collects latency histograms and abort-cause counters
+	// from every runtime of the cell; Result.Obs carries the snapshot. The
+	// nil default records nothing (zero hot-path cost), keeping the figure
+	// experiments' measurement windows identical to pre-observability runs.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +116,9 @@ type Result struct {
 	Client    core.MetricsSnapshot
 	Transport cluster.Stats
 	Faults    cluster.FaultCounts
+	// Obs is the observability snapshot of the cell (zero when Config.Obs
+	// was nil; Sites/Aborts maps are always fully keyed).
+	Obs obs.Snapshot
 
 	ReadQuorumSize  int
 	WriteQuorumSize int
@@ -183,6 +192,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		BackoffBase:   2 * time.Millisecond,
 		BackoffMax:    16 * time.Millisecond,
 		WrapTransport: wrap,
+		Obs:           cfg.Obs,
 	})
 	if err != nil {
 		return Result{}, err
@@ -253,6 +263,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		Transport:       c.Transport.Stats(),
 		ReadQuorumSize:  runtimes[0].ReadQuorumSize(),
 		WriteQuorumSize: runtimes[0].WriteQuorumSize(),
+		Obs:             cfg.Obs.Snapshot(),
 	}
 	if retryT != nil {
 		rs := retryT.Stats()

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
+)
+
+// BenchObsPath is where the Obs experiment writes its machine-readable
+// output ("" disables the file; cmd/qr-bench exposes it as -obs-out).
+var BenchObsPath = "BENCH_obs.json"
+
+// obsRecord is one protocol mode's row in BENCH_obs.json.
+type obsRecord struct {
+	Mode       string               `json:"mode"`
+	Workload   string               `json:"workload"`
+	Throughput float64              `json:"txn_per_sec"`
+	Commits    uint64               `json:"commits"`
+	Sites      map[string]obs.Stats `json:"sites"`
+	Aborts     map[string]uint64    `json:"aborts"`
+}
+
+// Obs runs the observability experiment: the same contended workload under
+// QR (flat), QR-CN (closed) and QR-CHK (checkpointing), each cell recording
+// into a fresh registry, and reports per-protocol latency percentiles plus
+// the abort-cause breakdown — the attribution the paper's Figure 8
+// aggregates into single abort counts. Alongside the tables it writes
+// BENCH_obs.json (see BenchObsPath) for scripted consumption.
+func Obs(ctx context.Context, s Scale) ([]Table, error) {
+	lat := Table{
+		ID:     "obslat",
+		Title:  "txn latency percentiles by protocol (hashmap, ms)",
+		Header: []string{"mode", "txn/s", "p50", "p90", "p99", "p999", "commit p50", "read p50"},
+	}
+	causes := Table{
+		ID:     "obscause",
+		Title:  "abort-cause breakdown by protocol (hashmap)",
+		Header: []string{"mode", "read-validation", "lock-denied", "commit-conflict", "node-down", "rollback p50 steps"},
+	}
+	var records []obsRecord
+	for _, mode := range figureModes {
+		reg := obs.NewRegistry()
+		cfg := s.config("hashmap", benchDefaults["hashmap"], mode)
+		cfg.Obs = reg
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("obs %v: %w", mode, err)
+		}
+		txn := res.Obs.Sites[obs.SiteTxnLatency.String()]
+		commit := res.Obs.Sites[obs.SiteCommitRTT.String()]
+		read := res.Obs.Sites[obs.SiteReadRTT.String()]
+		lat.Rows = append(lat.Rows, []string{
+			mode.String(), f1(res.Throughput),
+			f1(txn.P50Ms), f1(txn.P90Ms), f1(txn.P99Ms), f1(txn.P999Ms),
+			f1(commit.P50Ms), f1(read.P50Ms),
+		})
+		rollback := "n/a"
+		if mode == core.Checkpoint {
+			rollback = f1(float64(res.Obs.Hists[obs.SiteRollbackDepth].Quantile(0.5)))
+		}
+		causes.Rows = append(causes.Rows, []string{
+			mode.String(),
+			fmt.Sprint(res.Obs.Aborts["read-validation"]),
+			fmt.Sprint(res.Obs.Aborts["lock-denied"]),
+			fmt.Sprint(res.Obs.Aborts["commit-conflict"]),
+			fmt.Sprint(res.Obs.Aborts["node-down"]),
+			rollback,
+		})
+		records = append(records, obsRecord{
+			Mode:       mode.String(),
+			Workload:   res.Workload,
+			Throughput: res.Throughput,
+			Commits:    res.Commits,
+			Sites:      res.Obs.Sites,
+			Aborts:     res.Obs.Aborts,
+		})
+	}
+	if BenchObsPath != "" {
+		if err := writeBenchObs(BenchObsPath, records); err != nil {
+			return nil, err
+		}
+	}
+	return []Table{lat, causes}, nil
+}
+
+// writeBenchObs writes the per-protocol records as indented JSON.
+func writeBenchObs(path string, records []obsRecord) error {
+	b, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Admin assembles the live-inspection HTTP surface of a node or client:
+//
+//	/metrics        expvar-style JSON: every registered source, evaluated
+//	                at request time
+//	/healthz        200 "ok" (liveness)
+//	/debug/pprof/   the standard Go profiler endpoints
+//
+// Sources are named producer functions so the same mux serves whatever the
+// process has — a replica registers its server metrics, a client its core
+// metrics, transport stats and obs registry.
+type Admin struct {
+	mu      sync.Mutex
+	sources map[string]func() any
+	started time.Time
+}
+
+// NewAdmin returns an empty admin surface.
+func NewAdmin() *Admin {
+	return &Admin{sources: make(map[string]func() any), started: time.Now()}
+}
+
+// Source registers (or replaces) a named metrics producer. fn is called on
+// every /metrics request and its result is JSON-encoded under name.
+func (a *Admin) Source(name string, fn func() any) *Admin {
+	a.mu.Lock()
+	a.sources[name] = fn
+	a.mu.Unlock()
+	return a
+}
+
+// metrics evaluates every source into one stable-ordered JSON document.
+func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	names := make([]string, 0, len(a.sources))
+	fns := make(map[string]func() any, len(a.sources))
+	for n, fn := range a.sources {
+		names = append(names, n)
+		fns[n] = fn
+	}
+	uptime := time.Since(a.started)
+	a.mu.Unlock()
+	sort.Strings(names)
+
+	doc := make(map[string]any, len(names)+1)
+	doc["uptime_sec"] = uptime.Seconds()
+	for _, n := range names {
+		doc[n] = fns[n]()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Mux returns the handler serving /metrics, /healthz and /debug/pprof/.
+func (a *Admin) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr (":0" picks a free port), serves the admin mux
+// in the background, and returns the bound address plus a shutdown func.
+// Binding errors surface synchronously so a mistyped -admin flag fails
+// fast instead of logging from a goroutine.
+func (a *Admin) ListenAndServe(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: admin listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: a.Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Observe(SiteTxnLatency, 1_500_000)
+	reg.Abort(CauseCommitConflict)
+
+	admin := NewAdmin().
+		Source("obs", func() any { return reg.Snapshot() }).
+		Source("node", func() any { return map[string]any{"id": 3} })
+	srv := httptest.NewServer(admin.Mux())
+	defer srv.Close()
+
+	t.Run("healthz", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+			t.Errorf("healthz: %d %q", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("metrics", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %q", ct)
+		}
+		var doc map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("metrics not JSON: %v", err)
+		}
+		for _, key := range []string{"uptime_sec", "obs", "node"} {
+			if _, ok := doc[key]; !ok {
+				t.Errorf("metrics missing %q: have %v", key, keysOf(doc))
+			}
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(doc["obs"], &snap); err != nil {
+			t.Fatalf("obs section: %v", err)
+		}
+		if snap.Aborts["commit-conflict"] != 1 {
+			t.Errorf("aborts = %v", snap.Aborts)
+		}
+		if snap.Sites["txn_latency"].Count != 1 {
+			t.Errorf("sites = %v", snap.Sites)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		resp, err := http.Get(srv.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("pprof index: %d", resp.StatusCode)
+		}
+	})
+
+	t.Run("source-live-evaluation", func(t *testing.T) {
+		// Sources run per request: new aborts show up without re-registering.
+		reg.Abort(CauseCommitConflict)
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc struct {
+			Obs Snapshot `json:"obs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Obs.Aborts["commit-conflict"] != 2 {
+			t.Errorf("stale source evaluation: %v", doc.Obs.Aborts)
+		}
+	})
+}
+
+func TestAdminListenAndServe(t *testing.T) {
+	addr, shutdown, err := NewAdmin().ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthz over real listener: %d", resp.StatusCode)
+	}
+	// A nonsense address must fail synchronously.
+	if _, _, err := NewAdmin().ListenAndServe("256.0.0.1:bogus"); err == nil {
+		t.Error("bad addr: want synchronous error")
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Site names one instrumented protocol location. The registry keeps one
+// histogram per site; duration sites record nanoseconds, dimensionless
+// sites (RollbackDepth) record raw values.
+type Site int
+
+const (
+	// SiteReadRTT is the read-quorum multicast round trip (Algorithm 2's
+	// remote read, validation probes included).
+	SiteReadRTT Site = iota
+	// SiteCommitRTT is the commit protocol round trip: prepare multicast
+	// through the decide multicast.
+	SiteCommitRTT
+	// SiteTxnLatency is the full root-transaction latency of a committed
+	// transaction, every aborted attempt and backoff included.
+	SiteTxnLatency
+	// SiteBackoff is the abort-to-retry backoff sleep.
+	SiteBackoff
+	// SiteRollbackDepth is the number of completed steps discarded by a
+	// checkpoint rollback (dimensionless — "work thrown away"; the steps
+	// *kept* are what checkpointing saved over a full restart).
+	SiteRollbackDepth
+	// SiteServeRead is the replica-side service time of a read request.
+	SiteServeRead
+	// SiteServePrepare is the replica-side service time of a prepare.
+	SiteServePrepare
+
+	numSites
+)
+
+// siteNames are the stable identifiers used in JSON output.
+var siteNames = [numSites]string{
+	SiteReadRTT:       "read_rtt",
+	SiteCommitRTT:     "commit_rtt",
+	SiteTxnLatency:    "txn_latency",
+	SiteBackoff:       "backoff",
+	SiteRollbackDepth: "rollback_depth",
+	SiteServeRead:     "serve_read",
+	SiteServePrepare:  "serve_prepare",
+}
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	if s < 0 || s >= numSites {
+		return "site(?)"
+	}
+	return siteNames[s]
+}
+
+// Sites lists all instrumented sites in presentation order.
+var Sites = []Site{
+	SiteReadRTT, SiteCommitRTT, SiteTxnLatency, SiteBackoff,
+	SiteRollbackDepth, SiteServeRead, SiteServePrepare,
+}
+
+// AbortCause classifies why a transaction (or subtransaction) attempt was
+// aborted — the attribution the paper's Figure 8 aggregates away.
+type AbortCause int
+
+const (
+	// CauseReadValidation: read-quorum validation found a footprint entry
+	// stale (a concurrent commit installed a newer version).
+	CauseReadValidation AbortCause = iota
+	// CauseLockDenied: a read was denied purely by a pending commit's
+	// locks and the contention-manager wait budget ran out.
+	CauseLockDenied
+	// CauseCommitConflict: a write-quorum member voted no at prepare.
+	CauseCommitConflict
+	// CauseNodeDown: a quorum member was unreachable and the attempt was
+	// aborted to reconfigure around it.
+	CauseNodeDown
+
+	numCauses
+)
+
+var causeNames = [numCauses]string{
+	CauseReadValidation: "read-validation",
+	CauseLockDenied:     "lock-denied",
+	CauseCommitConflict: "commit-conflict",
+	CauseNodeDown:       "node-down",
+}
+
+// String implements fmt.Stringer.
+func (c AbortCause) String() string {
+	if c < 0 || c >= numCauses {
+		return "cause(?)"
+	}
+	return causeNames[c]
+}
+
+// Causes lists all abort causes in presentation order.
+var Causes = []AbortCause{CauseReadValidation, CauseLockDenied, CauseCommitConflict, CauseNodeDown}
+
+// Registry is the per-process (or per-experiment-cell) observability hub:
+// one histogram per instrumented site, abort counters by cause, and an
+// optional Tracer for per-transaction events.
+//
+// The zero value is ready to use. A nil *Registry no-ops on every method at
+// the cost of a nil check — instrumented code calls unconditionally and a
+// runtime built without observability pays nothing else.
+type Registry struct {
+	hists  [numSites]Histogram
+	aborts [numCauses]atomic.Uint64
+	tracer *Tracer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// WithTracer attaches a tracer for per-transaction events and returns the
+// registry. Attach before handing the registry to runtimes; the field is
+// read unsynchronized on the hot path.
+func (r *Registry) WithTracer(t *Tracer) *Registry {
+	if r != nil {
+		r.tracer = t
+	}
+	return r
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	return r.tracer
+}
+
+// Hist returns the histogram for a site (nil on a nil registry).
+func (r *Registry) Hist(s Site) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return &r.hists[s]
+}
+
+// Start returns the current time, or the zero time on a nil registry so the
+// matching ObserveSince is a no-op. The pair brackets a timed section
+// without any allocation and without paying for a clock read when
+// observability is off.
+func (r *Registry) Start() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// ObserveSince records the elapsed time since t0 at site s.
+func (r *Registry) ObserveSince(s Site, t0 time.Time) {
+	if r == nil || t0.IsZero() {
+		return
+	}
+	r.hists[s].Record(int64(time.Since(t0)))
+}
+
+// Observe records a raw sample at site s.
+func (r *Registry) Observe(s Site, v int64) {
+	if r == nil {
+		return
+	}
+	r.hists[s].Record(v)
+}
+
+// Abort counts one abort attributed to cause c.
+func (r *Registry) Abort(c AbortCause) {
+	if r == nil {
+		return
+	}
+	r.aborts[c].Add(1)
+}
+
+// Trace emits ev to the attached tracer, if any.
+func (r *Registry) Trace(ev Event) {
+	if r == nil || r.tracer == nil {
+		return
+	}
+	r.tracer.Emit(ev)
+}
+
+// AbortCounts returns the abort counters keyed by cause name.
+func (r *Registry) AbortCounts() map[string]uint64 {
+	out := make(map[string]uint64, numCauses)
+	for _, c := range Causes {
+		var n uint64
+		if r != nil {
+			n = r.aborts[c].Load()
+		}
+		out[c.String()] = n
+	}
+	return out
+}
+
+// Snapshot is a serializable copy of a registry: per-site histogram
+// summaries plus abort counters by cause.
+type Snapshot struct {
+	Sites  map[string]Stats  `json:"sites"`
+	Aborts map[string]uint64 `json:"aborts"`
+
+	// Hists keeps the full mergeable snapshots (not serialized; quantile
+	// queries on merged windows need the buckets, not just the summary).
+	Hists map[Site]HistSnapshot `json:"-"`
+}
+
+// Snapshot copies every histogram and counter. Safe on a nil registry
+// (returns an all-zero snapshot with the full key set, so consumers can
+// index unconditionally).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Sites:  make(map[string]Stats, numSites),
+		Aborts: make(map[string]uint64, numCauses),
+		Hists:  make(map[Site]HistSnapshot, numSites),
+	}
+	for _, site := range Sites {
+		var hs HistSnapshot
+		if r != nil {
+			hs = r.hists[site].Snapshot()
+		}
+		s.Hists[site] = hs
+		s.Sites[site.String()] = hs.Stats()
+	}
+	s.Aborts = r.AbortCounts()
+	return s
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryNoops is the zero-cost contract: every method on a nil
+// *Registry must be a safe no-op, and Start must return the zero time so
+// ObserveSince skips the clock read.
+func TestNilRegistryNoops(t *testing.T) {
+	var r *Registry
+	if t0 := r.Start(); !t0.IsZero() {
+		t.Errorf("nil Start() = %v, want zero time", t0)
+	}
+	r.ObserveSince(SiteTxnLatency, time.Now())
+	r.Observe(SiteBackoff, 42)
+	r.Abort(CauseLockDenied)
+	r.Trace(Event{Kind: EvCommit})
+	if h := r.Hist(SiteReadRTT); h != nil {
+		t.Errorf("nil Hist() = %v, want nil", h)
+	}
+	if tr := r.Tracer(); tr != nil {
+		t.Errorf("nil Tracer() = %v, want nil", tr)
+	}
+	if r.WithTracer(NewTracer(0, 0, nil)) != nil {
+		t.Error("nil WithTracer must return nil")
+	}
+
+	// A nil registry still snapshots with the full key set so consumers can
+	// index unconditionally.
+	s := r.Snapshot()
+	if len(s.Sites) != len(Sites) || len(s.Aborts) != len(Causes) {
+		t.Fatalf("nil snapshot keys: %d sites, %d aborts", len(s.Sites), len(s.Aborts))
+	}
+	for _, site := range Sites {
+		if st := s.Sites[site.String()]; st.Count != 0 {
+			t.Errorf("nil snapshot site %v nonzero: %+v", site, st)
+		}
+	}
+	for _, c := range Causes {
+		if s.Aborts[c.String()] != 0 {
+			t.Errorf("nil snapshot abort %v nonzero", c)
+		}
+	}
+}
+
+func TestRegistryObserveAndAbort(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(SiteRollbackDepth, 3)
+	r.Observe(SiteRollbackDepth, 5)
+	r.ObserveSince(SiteTxnLatency, time.Now().Add(-2*time.Millisecond))
+	r.ObserveSince(SiteTxnLatency, time.Time{}) // zero time: must not record
+	r.Abort(CauseReadValidation)
+	r.Abort(CauseReadValidation)
+	r.Abort(CauseNodeDown)
+
+	s := r.Snapshot()
+	if got := s.Sites[SiteRollbackDepth.String()]; got.Count != 2 {
+		t.Errorf("rollback_depth count = %d, want 2", got.Count)
+	}
+	if got := s.Sites[SiteTxnLatency.String()]; got.Count != 1 || got.P50Ms < 1 {
+		t.Errorf("txn_latency = %+v, want 1 sample around 2ms", got)
+	}
+	if s.Aborts["read-validation"] != 2 || s.Aborts["node-down"] != 1 || s.Aborts["lock-denied"] != 0 {
+		t.Errorf("aborts = %v", s.Aborts)
+	}
+	// Hists carries the mergeable form for the same data.
+	if s.Hists[SiteRollbackDepth].Count != 2 {
+		t.Errorf("Hists[rollback_depth].Count = %d", s.Hists[SiteRollbackDepth].Count)
+	}
+
+	// The snapshot must serialize cleanly (admin /metrics path).
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if bytes.Contains(b, []byte("Hists")) {
+		t.Error("raw bucket data leaked into JSON")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, site := range Sites {
+		if site.String() == "site(?)" || site.String() == "" {
+			t.Errorf("site %d has no name", int(site))
+		}
+	}
+	for _, c := range Causes {
+		if c.String() == "cause(?)" || c.String() == "" {
+			t.Errorf("cause %d has no name", int(c))
+		}
+	}
+	if Site(-1).String() != "site(?)" || AbortCause(99).String() != "cause(?)" {
+		t.Error("out-of-range enums must not panic")
+	}
+	for _, k := range []EventKind{EvCommit, EvAbort, EvRollback, EvCheckpoint} {
+		if k.String() == "event(?)" {
+			t.Errorf("event kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestTracerRingAndSampling(t *testing.T) {
+	// Nil tracer no-ops.
+	var nilT *Tracer
+	nilT.Emit(Event{})
+	if nilT.Seen() != 0 || nilT.Events() != nil {
+		t.Error("nil tracer must no-op")
+	}
+
+	// Ring keeps the most recent `size` events.
+	tr := NewTracer(4, 1, nil)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Kind: EvCommit, Txn: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Txn != want {
+			t.Errorf("event %d: txn %d, want %d (oldest-first)", i, ev.Txn, want)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %d has zero timestamp", i)
+		}
+	}
+	if tr.Seen() != 10 {
+		t.Errorf("Seen() = %d, want 10", tr.Seen())
+	}
+
+	// sampleEvery=3 retains every third event.
+	ts := NewTracer(100, 3, nil)
+	for i := 0; i < 30; i++ {
+		ts.Emit(Event{Txn: uint64(i)})
+	}
+	if got := len(ts.Events()); got != 10 {
+		t.Errorf("sampled tracer kept %d of 30, want 10", got)
+	}
+	if ts.Seen() != 30 {
+		t.Errorf("Seen() = %d, want 30 (sampling must not hide volume)", ts.Seen())
+	}
+}
+
+func TestTracerSlogMirror(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	tr := NewTracer(8, 1, logger)
+
+	r := NewRegistry().WithTracer(tr)
+	r.Trace(Event{Kind: EvAbort, Txn: 7, Depth: 1, Cause: CauseLockDenied, Obj: "acct-3"})
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("slog output not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["kind"] != "abort" || rec["cause"] != "lock-denied" || rec["obj"] != "acct-3" {
+		t.Errorf("slog record = %v", rec)
+	}
+	if r.Tracer() != tr {
+		t.Error("Tracer() accessor lost the attached tracer")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(1)
+		for pb.Next() {
+			h.Record(v)
+			v = (v*2862933555777941757 + 3037000493) & 0x3fffffff
+		}
+	})
+}
+
+func BenchmarkRegistryNil(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t0 := r.Start()
+		r.ObserveSince(SiteTxnLatency, t0)
+		r.Abort(CauseReadValidation)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one transaction trace event.
+type EventKind int
+
+const (
+	// EvCommit is a successful root commit.
+	EvCommit EventKind = iota
+	// EvAbort is an abort decision (full or partial; Cause says why, Depth
+	// says which nesting level retries).
+	EvAbort
+	// EvRollback is a QR-CHK partial rollback to a checkpoint.
+	EvRollback
+	// EvCheckpoint is a checkpoint creation.
+	EvCheckpoint
+)
+
+var eventKindNames = [...]string{
+	EvCommit:     "commit",
+	EvAbort:      "abort",
+	EvRollback:   "rollback",
+	EvCheckpoint: "checkpoint",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k < 0 || int(k) >= len(eventKindNames) {
+		return "event(?)"
+	}
+	return eventKindNames[k]
+}
+
+// Event is one structured trace record. Fields that don't apply to a kind
+// are zero (e.g. Obj is empty on commits, Chk is only set on rollbacks).
+type Event struct {
+	Time  time.Time  `json:"time"`
+	Kind  EventKind  `json:"kind"`
+	Txn   uint64     `json:"txn"`
+	Depth int        `json:"depth"`          // nesting level (0 = root)
+	Cause AbortCause `json:"cause"`          // aborts only
+	Obj   string     `json:"obj,omitempty"`  // object whose read hit the denial
+	Chk   int        `json:"chk,omitempty"`  // rollback target checkpoint epoch
+	Note  int        `json:"note,omitempty"` // kind-specific (rollback: steps discarded)
+}
+
+// Tracer retains a bounded, sampled window of transaction events in a
+// lock-free ring and optionally mirrors each retained event to a
+// slog.Logger. Emit is safe for unsynchronized concurrent use; a nil
+// *Tracer no-ops.
+type Tracer struct {
+	sampleEvery uint64
+	logger      *slog.Logger
+	seq         atomic.Uint64
+	pos         atomic.Uint64
+	ring        []atomic.Pointer[Event]
+}
+
+// NewTracer builds a tracer keeping the last `size` sampled events
+// (default 1024) and retaining every sampleEvery-th event (1 or less keeps
+// all). logger may be nil to keep events in-memory only.
+func NewTracer(size int, sampleEvery int, logger *slog.Logger) *Tracer {
+	if size <= 0 {
+		size = 1024
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Tracer{
+		sampleEvery: uint64(sampleEvery),
+		logger:      logger,
+		ring:        make([]atomic.Pointer[Event], size),
+	}
+}
+
+// Emit records one event, subject to sampling.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if n := t.seq.Add(1); t.sampleEvery > 1 && n%t.sampleEvery != 0 {
+		return
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	slot := (t.pos.Add(1) - 1) % uint64(len(t.ring))
+	t.ring[slot].Store(&ev)
+	if t.logger != nil {
+		t.logger.LogAttrs(context.Background(), slog.LevelDebug, "txn",
+			slog.String("kind", ev.Kind.String()),
+			slog.Uint64("txn", ev.Txn),
+			slog.Int("depth", ev.Depth),
+			slog.String("cause", ev.Cause.String()),
+			slog.String("obj", ev.Obj),
+			slog.Int("chk", ev.Chk),
+		)
+	}
+}
+
+// Seen reports how many events were emitted (sampled-out ones included).
+func (t *Tracer) Seen() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Events returns the retained window, oldest first. The copy is taken
+// slot-by-slot while writers may be appending; each returned event is
+// internally consistent (pointers are swapped whole).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	n := uint64(len(t.ring))
+	head := t.pos.Load()
+	out := make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if ev := t.ring[(head+i)%n].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ package server
 import (
 	"sync/atomic"
 
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/store"
 )
@@ -51,12 +52,24 @@ type Replica struct {
 	ID      proto.NodeID
 	st      *store.Store
 	metrics Metrics
+	obs     *obs.Registry // nil disables service-time histograms
 }
 
 // New builds a replica for node id with an empty store.
 func New(id proto.NodeID) *Replica {
 	return &Replica{ID: id, st: store.New()}
 }
+
+// WithObs attaches an observability registry recording per-request service
+// time (obs.SiteServeRead / obs.SiteServePrepare) and returns the replica.
+// Attach before serving; the field is read unsynchronized on the hot path.
+func (r *Replica) WithObs(reg *obs.Registry) *Replica {
+	r.obs = reg
+	return r
+}
+
+// Obs returns the replica's observability registry (nil when disabled).
+func (r *Replica) Obs() *obs.Registry { return r.obs }
 
 // Store exposes the replica's object table (tests, bootstrap and tooling).
 func (r *Replica) Store() *store.Store { return r.st }
@@ -79,10 +92,15 @@ func (r *Replica) Metrics() *Metrics { return &r.metrics }
 func (r *Replica) Handle(_ proto.NodeID, req any) any {
 	switch m := req.(type) {
 	case proto.ReadReq:
-		return r.handleRead(m)
+		t0 := r.obs.Start()
+		rep := r.handleRead(m)
+		r.obs.ObserveSince(obs.SiteServeRead, t0)
+		return rep
 	case proto.PrepareReq:
 		r.metrics.Prepares.Add(1)
+		t0 := r.obs.Start()
 		ok := r.st.PrepareOpen(m.Txn, m.Reads, m.Writes, m.AbsLocks, m.Owner)
+		r.obs.ObserveSince(obs.SiteServePrepare, t0)
 		if !ok {
 			r.metrics.PrepareRejects.Add(1)
 		}

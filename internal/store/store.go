@@ -73,6 +73,56 @@ func (s *Store) Load(copies []proto.ObjectCopy) {
 	}
 }
 
+// InstallNewer installs each copy only if it is strictly newer than the
+// committed version this replica holds, leaving locks and contention
+// metadata untouched. It returns how many copies were installed. This is the
+// recovery-sync primitive: unlike Load it can never regress an object that a
+// racing commit decision has already advanced past the sync snapshot.
+func (s *Store) InstallNewer(copies []proto.ObjectCopy) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range copies {
+		r := s.rec(c.ID)
+		if c.Version > r.copyv.Version {
+			r.copyv = c.Clone()
+			n++
+		}
+	}
+	return n
+}
+
+// DropLocks clears every object protection and abstract lock, leaving the
+// committed copies untouched. A node being recovered calls this before it
+// rejoins: locks are volatile coordination state, and any prepare this
+// replica acknowledged happened before its crash — the coordinator has long
+// since decided (or aborted) without it, so a surviving protection could
+// only deny every future prepare on this member forever.
+func (s *Store) DropLocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.objs {
+		r.protected = false
+		r.protector = 0
+	}
+	clear(s.absLocks)
+	clear(s.absPrep)
+}
+
+// AnyProtected reports whether any object is currently protected by an
+// in-flight prepare. Recovery uses it to detect commits that were already
+// past their prepare when the recovering node rejoined (see Cluster.Recover).
+func (s *Store) AnyProtected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.objs {
+		if r.protected {
+			return true
+		}
+	}
+	return false
+}
+
 // Get returns a deep copy of the committed copy of id. Objects this replica
 // has never seen read as version 0 with a nil value (ok == false); the QR
 // read operation resolves such staleness by taking the highest version

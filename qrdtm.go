@@ -23,11 +23,13 @@ package qrdtm
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
 	"qrdtm/internal/server"
@@ -56,6 +58,46 @@ type (
 	// Metrics aggregates client-side protocol counters.
 	Metrics = core.Metrics
 )
+
+// Observability re-exports (see internal/obs and DESIGN.md §8): a Registry
+// collects latency histograms by site and abort counters by cause; a Tracer
+// retains a sampled ring of per-transaction events.
+type (
+	// Registry is the observability hub handed to runtimes via
+	// ClusterConfig.Obs. The nil default records nothing at no cost.
+	Registry = obs.Registry
+	// Tracer is the ring-buffered transaction event trace.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+	// AbortCause classifies why a transaction attempt aborted.
+	AbortCause = obs.AbortCause
+	// ObsSnapshot is a serializable registry snapshot.
+	ObsSnapshot = obs.Snapshot
+)
+
+// NewRegistry returns an empty observability registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer builds a transaction tracer (see obs.NewTracer).
+func NewTracer(size, sampleEvery int, logger *slog.Logger) *Tracer {
+	return obs.NewTracer(size, sampleEvery, logger)
+}
+
+// Abort causes.
+const (
+	// CauseReadValidation: read-quorum validation found a stale footprint.
+	CauseReadValidation = obs.CauseReadValidation
+	// CauseLockDenied: a pending commit's locks denied the read.
+	CauseLockDenied = obs.CauseLockDenied
+	// CauseCommitConflict: a write-quorum member voted no at prepare.
+	CauseCommitConflict = obs.CauseCommitConflict
+	// CauseNodeDown: a quorum member was unreachable.
+	CauseNodeDown = obs.CauseNodeDown
+)
+
+// AbortCauses lists all abort causes in presentation order.
+var AbortCauses = obs.Causes
 
 // Protocol modes.
 const (
@@ -127,6 +169,10 @@ type ClusterConfig struct {
 	// BackoffBase/BackoffMax tune full-abort backoff (see core.Config).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Obs, when set, collects latency histograms, abort-cause counters and
+	// (with an attached Tracer) per-transaction events from every runtime of
+	// the cluster. The nil default records nothing at no hot-path cost.
+	Obs *Registry
 	// WrapTransport, when set, decorates the transport the runtimes issue
 	// calls through (e.g. cluster.NewFaultTransport for message-level fault
 	// injection, cluster.NewRetryTransport for transient-fault masking).
@@ -232,6 +278,7 @@ func (c *Cluster) Runtime(node NodeID) *Runtime {
 		BackoffMax:      c.cfg.BackoffMax,
 		MaxRetries:      c.cfg.MaxRetries,
 		LockWaitRetries: c.cfg.LockWaitRetries,
+		Obs:             c.cfg.Obs,
 	})
 	if err != nil {
 		// Runtime construction only fails when no quorum exists, which on
@@ -272,17 +319,78 @@ func (c *Cluster) Fail(node NodeID) error {
 // Recover restarts a crashed node after synchronizing its store from a live
 // read quorum, so the crash-stop safety argument is preserved: the node
 // rejoins holding the latest committed version of every object it serves.
+//
+// Ordering matters here. A write quorum chosen while the node was down does
+// not contain it, so a commit racing the sync can decide a version the sync
+// snapshot missed — and once the node resumes serving (as the canonical read
+// quorum, say), every later transaction reads the stale version and wedges
+// at prepare against the newer copies. Recovery therefore rejoins the node
+// and refreshes quorums FIRST (new commits now include it in their write
+// quorums), then re-syncs non-regressively from a read quorum that excludes
+// it, repeating until a pass installs nothing and no sync-quorum member
+// holds an in-flight prepare — at which point every commit that could have
+// bypassed the node has landed and been copied over.
 func (c *Cluster) Recover(ctx context.Context, node NodeID) error {
 	alive := func(n NodeID) bool { return !c.Transport.Down(n) && n != node }
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	rq, err := c.Tree.ReadQuorum(alive)
-	if err != nil {
+	// A restarting node holds no locks: any protection it granted predates
+	// its crash, and those transactions decided without it while it was down.
+	// Dropping them prevents a resurrected lock from denying every future
+	// prepare on this member.
+	c.Replicas[node].Store().DropLocks()
+	// First pass before rejoining: bring the node near-current so the window
+	// where it serves reads while behind is as short as possible.
+	if _, err := c.syncFromQuorum(node, alive); err != nil {
 		return err
 	}
-	// A read quorum collectively holds the latest committed version of
-	// every object, so recovery is a store-to-store sync from its members.
+	c.Transport.Recover(node)
+	if err := c.refreshAll(); err != nil {
+		return err
+	}
+	// Stabilization: commits in flight across the rejoin used write quorums
+	// without the node. Each such commit either already decided (the next
+	// pass copies its version) or still holds prepare locks on the sync
+	// quorum (AnyProtected keeps the loop alive). Bounded so a busy cluster
+	// cannot pin recovery forever; the bound is generous against the ~one
+	// round-trip the straddling window actually lasts.
+	for pass := 0; pass < 16; pass++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		installed, err := c.syncFromQuorum(node, alive)
+		if err != nil {
+			return err
+		}
+		pending := false
+		if rq, err := c.Tree.ReadQuorum(alive); err == nil {
+			for _, n := range rq {
+				if c.Replicas[n].Store().AnyProtected() {
+					pending = true
+					break
+				}
+			}
+		}
+		if installed == 0 && !pending {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// syncFromQuorum installs on node the newest committed copy of every object
+// held by a read quorum over alive (which excludes node itself). A read
+// quorum collectively holds the latest committed version of every object,
+// so recovery is a store-to-store sync from its members; InstallNewer makes
+// the sync monotone so it can never clobber a version a racing commit
+// decision already installed on the node.
+func (c *Cluster) syncFromQuorum(node NodeID, alive func(NodeID) bool) (int, error) {
+	rq, err := c.Tree.ReadQuorum(alive)
+	if err != nil {
+		return 0, err
+	}
 	latest := make(map[ObjectID]ObjectCopy)
 	for _, n := range rq {
 		for _, cp := range c.Replicas[n].Store().DumpAll() {
@@ -295,9 +403,7 @@ func (c *Cluster) Recover(ctx context.Context, node NodeID) error {
 	for _, cp := range latest {
 		copies = append(copies, cp)
 	}
-	c.Replicas[node].Store().Load(copies)
-	c.Transport.Recover(node)
-	return c.refreshAll()
+	return c.Replicas[node].Store().InstallNewer(copies), nil
 }
 
 func (c *Cluster) refreshAll() error {

@@ -6,13 +6,16 @@ package qrdtm_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"sync"
 	"testing"
 	"time"
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
 	"qrdtm/internal/server"
@@ -248,12 +251,14 @@ func TestTCPReplicaRestartWithRetry(t *testing.T) {
 		BackoffMax:  200 * time.Millisecond,
 	})
 	metrics := &core.Metrics{}
+	reg := obs.NewRegistry()
 	rt, err := core.NewRuntime(core.Config{
 		Node:      0,
 		Transport: trans,
 		Quorums:   core.TreeQuorums{Tree: tc.tree},
 		Mode:      core.Closed,
 		Metrics:   metrics,
+		Obs:       reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -326,6 +331,53 @@ func TestTCPReplicaRestartWithRetry(t *testing.T) {
 		got, ok := tc.replicas[n].Store().Get("ctr")
 		if !ok || got.Val.(proto.Int64) != txns {
 			t.Fatalf("replica %v: ctr = %+v ok=%v, want %d", n, got, ok, txns)
+		}
+	}
+
+	// The same evidence must be visible from the outside: stand up the admin
+	// surface a qr-node client would serve (-admin) and read the restart's
+	// footprint back over HTTP.
+	admin := obs.NewAdmin().
+		Source("transport", func() any { return trans.Stats() }).
+		Source("core", func() any { return metrics.Snapshot() }).
+		Source("obs", func() any { return reg.Snapshot() })
+	addrHTTP, shutdown, err := admin.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addrHTTP + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Transport cluster.Stats `json:"transport"`
+		Core      core.MetricsSnapshot
+		Obs       obs.Snapshot
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	if doc.Transport.Retries == 0 {
+		t.Fatal("/metrics reports zero transport retries after the restart window")
+	}
+	if doc.Core.Commits != txns {
+		t.Fatalf("/metrics core.Commits = %d, want %d", doc.Core.Commits, txns)
+	}
+	if n := doc.Obs.Sites[obs.SiteTxnLatency.String()].Count; n != txns {
+		t.Fatalf("/metrics obs txn_latency count = %d, want %d", n, txns)
+	}
+
+	for _, path := range []string{"/healthz", "/debug/pprof/"} {
+		r, err := http.Get("http://" + addrHTTP + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, r.StatusCode)
 		}
 	}
 }
