@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-obs exp exp-quick fmt cover clean check
+.PHONY: all build vet test race bench bench-quick bench-obs bench-trace exp exp-quick fmt cover clean check
 
 all: build vet test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/
+	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/ .
 
 # Fast pre-commit gate: vet plus the race-detected transport, engine and
 # observability suites.
@@ -34,6 +34,10 @@ bench-quick:
 # Per-protocol latency percentiles and abort-cause breakdown → BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/qr-bench -exp obs -quick
+
+# Traced run per protocol, invariant-checked → BENCH_trace.json (Perfetto).
+bench-trace:
+	$(GO) run ./cmd/qr-bench -exp trace -quick
 
 # Regenerate the paper's figures and tables.
 exp:

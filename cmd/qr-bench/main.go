@@ -32,9 +32,11 @@ func main() {
 	nodes := flag.Int("nodes", 0, "override replica count")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
 	obsOut := flag.String("obs-out", harness.BenchObsPath, "output path for the obs experiment's JSON (empty disables)")
+	traceOut := flag.String("trace-out", harness.TracePath, "output path for the trace experiment's Chrome trace-event JSON (empty disables)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	harness.BenchObsPath = *obsOut
+	harness.TracePath = *traceOut
 
 	if *list {
 		for _, id := range harness.ExperimentOrder {

@@ -29,6 +29,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"qrdtm"
 	"strings"
 	"time"
 
@@ -49,17 +50,22 @@ func main() {
 	txns := flag.Int("txns", 20, "demo transactions to run (client mode)")
 	retries := flag.Int("retries", 6, "per-call attempt budget for transient faults (client mode; 1 disables retry)")
 	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-attempt call timeout (client mode; 0 disables)")
-	admin := flag.String("admin", "", "admin HTTP address serving /metrics, /healthz, /debug/pprof/ (empty disables)")
+	admin := flag.String("admin", "", "admin HTTP address serving /metrics, /healthz, /trace, /debug/pprof/ (empty disables)")
+	trace := flag.Bool("trace", false, "record causal spans into a ring buffer (served at /trace and to TraceDump requests)")
+	traceOut := flag.String("trace-out", "", "client mode: collect spans from every replica after the run and write Chrome trace-event JSON here (implies tracing)")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
 	reg := obs.NewRegistry()
+	if *trace {
+		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
+	}
 	rep := server.New(proto.NodeID(*id)).WithObs(reg)
 	srv, err := cluster.ListenTCP(proto.NodeID(*id), *listen, rep.Handle)
 	if err != nil {
@@ -69,6 +75,10 @@ func main() {
 
 	if *admin != "" {
 		a := obs.NewAdmin().
+			WithRegistry(reg).
+			HealthSource(func() obs.Health {
+				return obs.Health{Status: "ok", Node: *id, Role: "replica"}
+			}).
 			Source("node", func() any {
 				return map[string]any{"id": *id, "addr": srv.Addr(), "role": "replica"}
 			}).
@@ -104,7 +114,10 @@ func parseMode(s string) (core.Mode, error) {
 	}
 }
 
-func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin string) error {
+// traceRingSize holds roughly a thousand demo transactions' worth of spans.
+const traceRingSize = 1 << 16
+
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -128,6 +141,9 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 	})
 	tree := quorum.NewTree(len(addrs))
 	reg := obs.NewRegistry()
+	if traceOut != "" {
+		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
+	}
 	rt, err := core.NewRuntime(core.Config{
 		Node:      proto.NodeID(0),
 		Transport: trans,
@@ -141,6 +157,14 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 
 	if admin != "" {
 		a := obs.NewAdmin().
+			WithRegistry(reg).
+			HealthSource(func() obs.Health {
+				up, down := tcp.PeerCounts()
+				return obs.Health{
+					Status: "ok", Node: 0, Role: "client",
+					ViewEpoch: rt.ViewEpoch(), PeersUp: up, PeersDown: down,
+				}
+			}).
 			Source("node", func() any {
 				return map[string]any{"role": "client", "mode": mode.String(), "peers": len(addrs)}
 			}).
@@ -210,5 +234,35 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 	fmt.Printf("abort causes: read-validation=%d lock-denied=%d commit-conflict=%d node-down=%d\n",
 		snap.Aborts["read-validation"], snap.Aborts["lock-denied"],
 		snap.Aborts["commit-conflict"], snap.Aborts["node-down"])
+
+	if traceOut != "" {
+		nodes := make([]proto.NodeID, len(addrs))
+		for i := range addrs {
+			nodes[i] = proto.NodeID(i)
+		}
+		merged := qrdtm.CollectTrace(ctx, trans, 0, nodes, reg.Spans().Spans())
+		if len(merged) == 0 {
+			return fmt.Errorf("trace collection: %w (are the replicas running with -trace?)", obs.ErrNoSpans)
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, merged); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		check := obs.CheckTrace(merged)
+		fmt.Printf("trace: %d spans, %d transactions -> %s (open in ui.perfetto.dev)\n",
+			check.Spans, check.Traces, traceOut)
+		fmt.Printf("trace check: %d complete traces, %d incomplete, %d violations\n",
+			check.Traces, check.Incomplete, len(check.Violations))
+		if err := check.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
 }

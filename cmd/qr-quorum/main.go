@@ -27,6 +27,7 @@ func main() {
 	choices := flag.Int("choices", 4, "how many alternative quorums to show")
 	enumerate := flag.Bool("enumerate", false, "enumerate all quorums (small trees)")
 	benchN := flag.Int("bench", 0, "time N read+write quorum constructions and print percentiles")
+	prom := flag.Bool("prom", false, "print the -bench histogram in Prometheus text format instead of a summary line")
 	flag.Parse()
 
 	tree := quorum.NewTree(*nodes)
@@ -92,7 +93,15 @@ func main() {
 			}
 		}
 		s := hist.Snapshot()
-		fmt.Printf("\nquorum construction (%d iterations, read+write pair): %s\n", *benchN, s)
+		if *prom {
+			fmt.Println()
+			if err := obs.WritePromHist(os.Stdout, "qrdtm_quorum_build_seconds", s, true); err != nil {
+				fmt.Fprintf(os.Stderr, "qr-quorum: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Printf("\nquorum construction (%d iterations, read+write pair): %s\n", *benchN, s)
+		}
 	}
 
 	if *enumerate {

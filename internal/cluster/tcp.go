@@ -221,6 +221,11 @@ type TCPTransport struct {
 	messages    atomic.Uint64
 	calls       atomic.Uint64
 	failed      atomic.Uint64
+
+	// peerState tracks each peer's last-call outcome (1 = up, 2 = down;
+	// 0 = never called) for the /healthz peer summary. Allocated once at
+	// construction and indexed by peer, so updates are lock-free.
+	peerState map[proto.NodeID]*atomic.Int32
 }
 
 type tcpConn struct {
@@ -233,14 +238,49 @@ type tcpConn struct {
 // address.
 func NewTCPTransport(peers map[proto.NodeID]string) *TCPTransport {
 	p := make(map[proto.NodeID]string, len(peers))
+	st := make(map[proto.NodeID]*atomic.Int32, len(peers))
 	for k, v := range peers {
 		p[k] = v
+		st[k] = &atomic.Int32{}
 	}
 	return &TCPTransport{
 		peers:       p,
 		idle:        make(map[proto.NodeID][]*tcpConn),
 		dialTimeout: 2 * time.Second,
+		peerState:   st,
 	}
+}
+
+// Peer last-call states.
+const (
+	peerUnknown int32 = iota
+	peerUp
+	peerDown
+)
+
+// notePeer records the outcome of one exchange with a peer.
+func (t *TCPTransport) notePeer(to proto.NodeID, up bool) {
+	if s, ok := t.peerState[to]; ok {
+		if up {
+			s.Store(peerUp)
+		} else {
+			s.Store(peerDown)
+		}
+	}
+}
+
+// PeerCounts reports how many peers answered (up) or failed (down) their
+// most recent call; peers never called count as neither.
+func (t *TCPTransport) PeerCounts() (up, down int) {
+	for _, s := range t.peerState {
+		switch s.Load() {
+		case peerUp:
+			up++
+		case peerDown:
+			down++
+		}
+	}
+	return up, down
 }
 
 // Stats returns transport counters (mirrors MemTransport.Stats).
@@ -310,6 +350,9 @@ func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 	c, err := t.get(to)
 	if err != nil {
 		t.failed.Add(1)
+		if errors.Is(err, ErrNodeDown) {
+			t.notePeer(to, false)
+		}
 		return nil, err
 	}
 
@@ -332,17 +375,26 @@ func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 		close(watchDone)
 		c.conn.Close()
 		t.failed.Add(1)
-		return nil, classifyCallErr(ctx, err)
+		err = classifyCallErr(ctx, err)
+		if errors.Is(err, ErrNodeDown) {
+			t.notePeer(to, false)
+		}
+		return nil, err
 	}
 	var res tcpResult
 	if err := c.dec.Decode(&res); err != nil {
 		close(watchDone)
 		c.conn.Close()
 		t.failed.Add(1)
-		return nil, classifyCallErr(ctx, err)
+		err = classifyCallErr(ctx, err)
+		if errors.Is(err, ErrNodeDown) {
+			t.notePeer(to, false)
+		}
+		return nil, err
 	}
 	close(watchDone)
 	t.messages.Add(1)
+	t.notePeer(to, true)
 	if ctx.Err() != nil {
 		// The watcher may have poisoned the deadline concurrently with the
 		// successful decode; don't pool a connection in that state.

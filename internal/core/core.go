@@ -194,6 +194,8 @@ type Runtime struct {
 	backoffMax  time.Duration
 	maxRetries  int
 
+	viewEpoch atomic.Uint64 // bumped on every quorum (re)resolution
+
 	mu     sync.RWMutex
 	readQ  []proto.NodeID
 	writeQ []proto.NodeID
@@ -266,8 +268,15 @@ func (rt *Runtime) RefreshQuorums() error {
 	rt.readQ = append([]proto.NodeID(nil), r...)
 	rt.writeQ = append([]proto.NodeID(nil), w...)
 	rt.mu.Unlock()
+	rt.viewEpoch.Add(1)
 	return nil
 }
+
+// ViewEpoch counts how many times this runtime has (re)resolved its quorums:
+// 1 after construction, +1 per reconfiguration. Nodes in one healthy cluster
+// converge on the same epoch; a node reporting a lower one is serving a
+// stale view (exposed via /healthz).
+func (rt *Runtime) ViewEpoch() uint64 { return rt.viewEpoch.Load() }
 
 // quorums returns the cached quorums.
 func (rt *Runtime) quorums() (read, write []proto.NodeID) {

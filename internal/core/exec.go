@@ -25,6 +25,8 @@ import (
 // the transaction other than idempotent writes to caller state.
 func (rt *Runtime) Atomic(ctx context.Context, body func(*Txn) error) error {
 	t0 := rt.obs.Start()
+	rsp := rt.obs.StartSpan(proto.SpanRoot, rt.node, proto.TraceContext{})
+	defer rsp.End()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -33,7 +35,12 @@ func (rt *Runtime) Atomic(ctx context.Context, body func(*Txn) error) error {
 			return ErrTooManyRetries
 		}
 		tx := newRootTxn(rt, ctx)
+		asp := rt.obs.StartSpan(proto.SpanAttempt, rt.node, rsp.Context())
+		asp.SetTxn(tx.id)
+		tx.tc = asp.Context()
 		aborted, err := rt.attemptRoot(tx, body)
+		asp.SetOK(err == nil && !aborted)
+		asp.End()
 		if err != nil {
 			// The body may have committed open subtransactions before
 			// failing; undo them before surfacing the error.
@@ -49,6 +56,8 @@ func (rt *Runtime) Atomic(ctx context.Context, body func(*Txn) error) error {
 			rt.metrics.Commits.Add(1)
 			rt.obs.ObserveSince(obs.SiteTxnLatency, t0)
 			rt.obs.Trace(obs.Event{Kind: obs.EvCommit, Txn: uint64(tx.id)})
+			rsp.SetTxn(tx.id)
+			rsp.SetOK(true)
 			return nil
 		}
 		if ferr := rt.finishOpen(tx, true); ferr != nil {
@@ -132,6 +141,11 @@ func (tx *Txn) snapshotStale() bool {
 	if req.DataSet == nil {
 		req.DataSet = []proto.DataItem{}
 	}
+	sp := tx.rt.obs.StartSpan(proto.SpanRead, tx.rt.node, tx.tc)
+	sp.SetTxn(tx.id)
+	sp.SetNote("revalidate")
+	req.TC = sp.Context()
+	defer sp.End()
 	tx.rt.metrics.ReadRequests.Add(1)
 	t0 := tx.rt.obs.Start()
 	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req)
@@ -144,6 +158,7 @@ func (tx *Txn) snapshotStale() bool {
 			return true
 		}
 	}
+	sp.SetOK(true) // snapshot confirmed valid
 	return false
 }
 
@@ -183,7 +198,18 @@ func (tx *Txn) Nested(body func(*Txn) error) error {
 		if tx.rt.maxRetries > 0 && attempt >= tx.rt.maxRetries {
 			return ErrTooManyRetries
 		}
-		aborted, err := child.attemptCT(body)
+		csp := tx.rt.obs.StartSpan(proto.SpanCT, tx.rt.node, tx.tc)
+		csp.SetTxn(tx.id)
+		csp.SetDepth(child.depth)
+		child.tc = csp.Context()
+		// The deferred End survives an abort signal targeting a shallower
+		// scope, which unwinds straight past this loop.
+		aborted, err := func() (bool, error) {
+			defer csp.End()
+			a, e := child.attemptCT(body)
+			csp.SetOK(e == nil && !a)
+			return a, e
+		}()
 		if err != nil {
 			return err
 		}
@@ -286,9 +312,15 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		return fmt.Errorf("%w: empty write quorum", ErrUnavailable)
 	}
 	m.CommitRequests.Add(1)
+	// One commit span covers prepare through decide; both multicasts carry
+	// its context, so every write-quorum member's serve-prepare/serve-decide
+	// span links under it.
+	csp := tx.rt.obs.StartSpan(proto.SpanCommit, tx.rt.node, tx.tc)
+	csp.SetTxn(tx.id)
+	defer csp.End()
 	t0 := tx.rt.obs.Start()
 	defer tx.rt.obs.ObserveSince(obs.SiteCommitRTT, t0)
-	prep := proto.PrepareReq{Txn: tx.id, Reads: reads, Writes: writes, AbsLocks: absLocks, Owner: owner}
+	prep := proto.PrepareReq{Txn: tx.id, Reads: reads, Writes: writes, AbsLocks: absLocks, Owner: owner, TC: csp.Context()}
 	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, prep)
 
 	allOK := true
@@ -320,7 +352,7 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		// the same objects — so it runs under its own bounded context.
 		if len(writes) > 0 || len(absLocks) > 0 {
 			dctx, cancel := context.WithTimeout(context.WithoutCancel(tx.ctx), 2*time.Second)
-			dec := proto.DecideReq{Txn: tx.id, Commit: false, Writes: writes}
+			dec := proto.DecideReq{Txn: tx.id, Commit: false, Writes: writes, TC: csp.Context()}
 			cluster.Multicast(dctx, tx.rt.trans, tx.rt.node, writeQ, dec)
 			cancel()
 		}
@@ -340,6 +372,7 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 			}
 		}
 		tx.noteAbort(cause, 0, proto.NoChk, "")
+		tx.abortSpan(csp.Context(), cause, "", 0, proto.NoChk)
 		throwAbort(0, proto.NoChk)
 	}
 
@@ -348,8 +381,9 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		for i, w := range writes {
 			w.Version++
 			installed[i] = w
+			csp.AddItem(w.ID, w.Version)
 		}
-		dec := proto.DecideReq{Txn: tx.id, Commit: true, Writes: installed}
+		dec := proto.DecideReq{Txn: tx.id, Commit: true, Writes: installed, TC: csp.Context()}
 		// Members that crash between prepare and decide miss the install
 		// harmlessly (crash-stop), but a node that RECOVERED in that window
 		// must not: it may already serve in read quorums the prepared write
@@ -364,6 +398,7 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		}
 		cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, targets, dec)
 	}
+	csp.SetOK(true)
 	return nil
 }
 
@@ -467,6 +502,8 @@ func snapshotSets(src map[proto.ObjectID]*entry) map[proto.ObjectID]*entry {
 // atomicCheckpointed is the QR-CHK execution loop.
 func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps []Step) (State, error) {
 	t0 := rt.obs.Start()
+	rsp := rt.obs.StartSpan(proto.SpanRoot, rt.node, proto.TraceContext{})
+	defer rsp.End()
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -474,13 +511,14 @@ func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps 
 		if rt.maxRetries > 0 && attempt >= rt.maxRetries {
 			return nil, ErrTooManyRetries
 		}
-		st, aborted, err := rt.checkpointedAttempt(ctx, initial, steps)
+		st, aborted, err := rt.checkpointedAttempt(ctx, initial, steps, rsp.Context())
 		if err != nil {
 			return nil, err
 		}
 		if !aborted {
 			rt.metrics.Commits.Add(1)
 			rt.obs.ObserveSince(obs.SiteTxnLatency, t0)
+			rsp.SetOK(true)
 			return st, nil
 		}
 		rt.metrics.RootAborts.Add(1)
@@ -490,8 +528,12 @@ func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps 
 
 // checkpointedAttempt runs one full attempt with partial rollbacks handled
 // internally; aborted reports a commit-time conflict (full restart).
-func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps []Step) (st State, aborted bool, err error) {
+func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps []Step, rtc proto.TraceContext) (st State, aborted bool, err error) {
 	tx := newRootTxn(rt, ctx)
+	asp := rt.obs.StartSpan(proto.SpanAttempt, rt.node, rtc)
+	asp.SetTxn(tx.id)
+	defer asp.End()
+	tx.tc = asp.Context()
 	st = initial.CloneState()
 	// Checkpoint 0 is the transaction's beginning: rolling back to it is a
 	// full-footprint discard but not a fresh attempt (no backoff, same id).
@@ -520,6 +562,11 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 			tx.footprint = 0
 			rt.metrics.Checkpoints.Add(1)
 			rt.obs.Trace(obs.Event{Kind: obs.EvCheckpoint, Txn: uint64(tx.id), Chk: tx.chkEpoch})
+			ksp := rt.obs.StartSpan(proto.SpanCheckpoint, rt.node, tx.tc)
+			ksp.SetTxn(tx.id)
+			ksp.SetChk(tx.chkEpoch)
+			ksp.SetOK(true)
+			ksp.End()
 			if rt.chkCost > 0 {
 				// Models the execution-state capture the paper's system
 				// pays per checkpoint (Java Continuations on a custom
@@ -545,6 +592,12 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 				Kind: obs.EvRollback, Txn: uint64(tx.id),
 				Chk: chk, Note: i - cps[chk].step,
 			})
+			rbs := rt.obs.StartSpan(proto.SpanRollback, rt.node, tx.tc)
+			rbs.SetTxn(tx.id)
+			rbs.SetChk(chk)                 // target epoch being restored
+			rbs.SetDepth(i - cps[chk].step) // steps discarded
+			rbs.SetOK(true)
+			rbs.End()
 			if rollbacks++; rollbacks > immediateRetries {
 				rt.backoff(rollbacks - immediateRetries)
 			}
@@ -573,6 +626,7 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 	if aborted {
 		return nil, true, nil
 	}
+	asp.SetOK(true)
 	return st, false, nil
 }
 

@@ -69,7 +69,15 @@ func (tx *Txn) Open(locks []string, body func(*Txn) error, compensate func(*Txn)
 		// because those writes would otherwise leak into a commit that
 		// becomes visible before the parent's.
 		ot := newRootTxn(rt, tx.ctx)
+		// The open subtransaction commits under its own TxnID but traces as
+		// part of the enclosing transaction's causal tree.
+		osp := rt.obs.StartSpan(proto.SpanAttempt, rt.node, tx.tc)
+		osp.SetTxn(ot.id)
+		osp.SetNote("open")
+		ot.tc = osp.Context()
 		aborted, err := rt.attemptOpen(ot, body, locks, root.id)
+		osp.SetOK(err == nil && !aborted)
+		osp.End()
 		if err != nil {
 			return err
 		}
@@ -124,7 +132,7 @@ func (rt *Runtime) finishOpen(tx *Txn, rootAborted bool) error {
 	}
 	if tx.holdsAbsLocks {
 		_, writeQ := rt.quorums()
-		cluster.Multicast(tx.ctx, rt.trans, rt.node, writeQ, proto.ReleaseReq{Owner: tx.id})
+		cluster.Multicast(tx.ctx, rt.trans, rt.node, writeQ, proto.ReleaseReq{Owner: tx.id, TC: tx.tc})
 	}
 	tx.openCommits = nil
 	tx.holdsAbsLocks = false

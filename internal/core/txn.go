@@ -87,6 +87,11 @@ type Txn struct {
 	depth  int
 	parent *Txn
 
+	// tc is the trace context of the span covering this transaction's scope
+	// (the attempt span for roots, the CT span for closed-nested children);
+	// read/commit spans open under it. Zero when tracing is off.
+	tc proto.TraceContext
+
 	readset  map[proto.ObjectID]*entry
 	writeset map[proto.ObjectID]*entry
 
@@ -117,6 +122,7 @@ func (tx *Txn) child() *Txn {
 		id:       tx.id,
 		depth:    tx.depth + 1,
 		parent:   tx,
+		tc:       tx.tc, // until the CT attempt span replaces it
 		readset:  make(map[proto.ObjectID]*entry),
 		writeset: make(map[proto.ObjectID]*entry),
 	}
@@ -307,6 +313,14 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			return nil, ErrUnavailable
 		}
 		tx.rt.metrics.ReadRequests.Add(1)
+		// One read span per quorum round; its context rides in the request so
+		// every replica's serve-read span links back to it.
+		sp := tx.rt.obs.StartSpan(proto.SpanRead, tx.rt.node, tx.tc)
+		sp.SetTxn(tx.id)
+		sp.SetObj(id)
+		sp.SetDepth(tx.depth)
+		sp.SetChk(tx.ownerChkNow())
+		req.TC = sp.Context()
 		t0 := tx.rt.obs.Start()
 		replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req)
 		tx.rt.obs.ObserveSince(obs.SiteReadRTT, t0)
@@ -322,6 +336,7 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 					// The transaction's own context ended mid-multicast; a
 					// cancelled leg says nothing about the peer's health, so
 					// it must not trigger a quorum refresh.
+					sp.End()
 					return nil, tx.ctx.Err()
 				}
 				callErr = rep.Err
@@ -329,6 +344,7 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			}
 			rr, ok := rep.Resp.(proto.ReadRep)
 			if !ok {
+				sp.End()
 				return nil, fmt.Errorf("core: unexpected read reply %T from %v", rep.Resp, rep.Node)
 			}
 			if !rr.OK {
@@ -356,6 +372,8 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			if lockOnly && lockWaits < tx.rt.lockWaits {
 				lockWaits++
 				tx.rt.metrics.LockWaits.Add(1)
+				sp.SetNote("lock-wait")
+				sp.End()
 				// One network quantum per wait: commit windows last about
 				// two rounds, so a couple of waits ride one out. This is
 				// policy pacing, independent of abort backoff.
@@ -372,11 +390,14 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			if lockOnly {
 				cause = obs.CauseLockDenied
 			}
-			tx.routeAbort(abortDepth, abortChk, cause, id)
+			sp.End()
+			tx.routeAbort(abortDepth, abortChk, cause, id, req.TC)
 		}
 		if callErr != nil {
 			// A quorum member is unreachable: reconfigure and retry the
 			// read against the new quorum.
+			sp.SetNote("node-down")
+			sp.End()
 			tx.rt.metrics.QuorumRefreshes.Add(1)
 			if err := tx.rt.RefreshQuorums(); err != nil {
 				return nil, err
@@ -387,6 +408,9 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			continue
 		}
 
+		sp.SetVersion(best.Version)
+		sp.SetOK(true)
+		sp.End()
 		e := &entry{
 			copyv:      best,
 			ownerDepth: tx.depth,
@@ -404,8 +428,10 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 
 // routeAbort converts a validation denial into the mode-appropriate abort,
 // attributing the decision (cause plus the read that hit it) to the
-// observability layer so partial-abort routing is visible in traces.
-func (tx *Txn) routeAbort(abortDepth, abortChk int, cause obs.AbortCause, obj proto.ObjectID) {
+// observability layer so partial-abort routing is visible in traces. parent
+// is the span of the read that was denied; the abort span opens under it so
+// a merged trace shows which replicas' denials produced the routed target.
+func (tx *Txn) routeAbort(abortDepth, abortChk int, cause obs.AbortCause, obj proto.ObjectID, parent proto.TraceContext) {
 	switch tx.rt.mode {
 	case Closed:
 		d := abortDepth
@@ -418,6 +444,7 @@ func (tx *Txn) routeAbort(abortDepth, abortChk int, cause obs.AbortCause, obj pr
 			d = tx.depth
 		}
 		tx.noteAbort(cause, d, proto.NoChk, obj)
+		tx.abortSpan(parent, cause, obj, d, proto.NoChk)
 		throwAbort(d, proto.NoChk)
 	case Checkpoint:
 		c := abortChk
@@ -428,11 +455,25 @@ func (tx *Txn) routeAbort(abortDepth, abortChk int, cause obs.AbortCause, obj pr
 			c = tx.chkEpoch
 		}
 		tx.noteAbort(cause, 0, c, obj)
+		tx.abortSpan(parent, cause, obj, 0, c)
 		throwAbort(0, c)
 	default:
 		tx.noteAbort(cause, 0, proto.NoChk, obj)
+		tx.abortSpan(parent, cause, obj, 0, proto.NoChk)
 		throwAbort(0, proto.NoChk)
 	}
+}
+
+// abortSpan records an instant abort-decision span carrying the routed
+// target (Depth for QR-CN, Chk for QR-CHK) and the cause as its note.
+func (tx *Txn) abortSpan(parent proto.TraceContext, cause obs.AbortCause, obj proto.ObjectID, depth, chk int) {
+	sp := tx.rt.obs.StartSpan(proto.SpanAbort, tx.rt.node, parent)
+	sp.SetTxn(tx.id)
+	sp.SetObj(obj)
+	sp.SetDepth(depth)
+	sp.SetChk(chk)
+	sp.SetNote(cause.String())
+	sp.End()
 }
 
 // noteAcquisition grows the checkpoint footprint counter.

@@ -509,7 +509,18 @@ func TransientFaults(ctx context.Context, s Scale) ([]Table, error) {
 			})
 		}
 	}
-	return []Table{t}, nil
+	// Trace-driven invariant audit: many small drop-injected cells, every
+	// one's span trace replayed through the protocol checker. Full scale runs
+	// the recorded 100 iterations; quick scale keeps CI time bounded.
+	iters := faultTraceIters
+	if s.Txns < FullScale().Txns {
+		iters = 8
+	}
+	audit, err := faultTraceAudit(ctx, s, iters)
+	if err != nil {
+		return []Table{t, audit}, err
+	}
+	return []Table{t, audit}, nil
 }
 
 // Experiment is a named experiment generator.
@@ -533,9 +544,10 @@ var Experiments = map[string]Experiment{
 	"quorums": QuorumShape,
 	"faults":  TransientFaults,
 	"obs":     Obs,
+	"trace":   Trace,
 }
 
 // ExperimentOrder lists experiment ids in presentation order.
 var ExperimentOrder = []string{
-	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "chkovh", "ablrqv", "ablchk", "ablcm", "ablopen", "ntfa", "quorums", "faults", "obs",
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "chkovh", "ablrqv", "ablchk", "ablcm", "ablopen", "ntfa", "quorums", "faults", "obs", "trace",
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 
 	"qrdtm/internal/core"
 	"qrdtm/internal/obs"
@@ -22,6 +23,9 @@ type obsRecord struct {
 	Commits    uint64               `json:"commits"`
 	Sites      map[string]obs.Stats `json:"sites"`
 	Aborts     map[string]uint64    `json:"aborts"`
+	// Timeline is the per-interval throughput/abort-rate series of the run
+	// (see Config.SampleEvery; the Obs experiment samples every second).
+	Timeline []TimelinePoint `json:"timeline"`
 }
 
 // Obs runs the observability experiment: the same contended workload under
@@ -46,6 +50,7 @@ func Obs(ctx context.Context, s Scale) ([]Table, error) {
 		reg := obs.NewRegistry()
 		cfg := s.config("hashmap", benchDefaults["hashmap"], mode)
 		cfg.Obs = reg
+		cfg.SampleEvery = time.Second
 		res, err := Run(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("obs %v: %w", mode, err)
@@ -77,6 +82,7 @@ func Obs(ctx context.Context, s Scale) ([]Table, error) {
 			Commits:    res.Commits,
 			Sites:      res.Obs.Sites,
 			Aborts:     res.Obs.Aborts,
+			Timeline:   res.Timeline,
 		})
 	}
 	if BenchObsPath != "" {

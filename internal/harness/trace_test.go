@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
+)
+
+func TestTraceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	old := TracePath
+	TracePath = filepath.Join(t.TempDir(), "trace.json")
+	defer func() { TracePath = old }()
+
+	s := QuickScale()
+	s.Clients, s.Txns = 3, 6
+	tables, err := Trace(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("tables = %+v", tables)
+	}
+	for _, row := range tables[0].Rows {
+		if row[5] != "0" {
+			t.Fatalf("invariant violations under %s: %v", row[0], row)
+		}
+		if row[2] == "0" || row[3] == "0" {
+			t.Fatalf("no spans/traces collected under %s: %v", row[0], row)
+		}
+	}
+	// The exported file must be valid Chrome trace-event JSON with events.
+	b, err := os.ReadFile(TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+}
+
+func TestFaultTraceAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	s := QuickScale()
+	table, err := faultTraceAudit(context.Background(), s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %v", table.Rows)
+	}
+	for _, row := range table.Rows {
+		if row[5] != "0" {
+			t.Fatalf("violations under %s: %v", row[0], row)
+		}
+		if row[2] == "0" {
+			t.Fatalf("no traces audited under %s: %v", row[0], row)
+		}
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	cfg := quickCfg("bank", core.Closed)
+	cfg.SampleEvery = 20 * time.Millisecond
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline points sampled")
+	}
+	var commits uint64
+	last := -1.0
+	for _, p := range res.Timeline {
+		if p.Sec <= last {
+			t.Fatalf("timeline not monotone: %+v", res.Timeline)
+		}
+		last = p.Sec
+		commits += p.Commits
+	}
+	// Every commit of the run lands in exactly one interval.
+	if commits != res.Commits {
+		t.Fatalf("timeline commits = %d, run commits = %d", commits, res.Commits)
+	}
+}
+
+// TestTraceRunVerified runs one traced cell with workload verification on:
+// tracing must not perturb the engine (same commit count, invariants hold).
+func TestTraceRunVerified(t *testing.T) {
+	reg := obs.NewRegistry().WithSpans(obs.NewSpanBuffer(traceBufferSize))
+	cfg := quickCfg("hashmap", core.Checkpoint)
+	cfg.Obs = reg
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 30 {
+		t.Fatalf("commits = %d, want 30", res.Commits)
+	}
+	check := obs.CheckTrace(reg.Spans().Spans())
+	if err := check.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if check.Traces == 0 || check.Spans == 0 {
+		t.Fatalf("nothing traced: %+v", check)
+	}
+}

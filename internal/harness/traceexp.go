@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
+	"qrdtm/internal/proto"
+)
+
+// TracePath is where the Trace experiment writes its Chrome trace-event JSON
+// ("" disables the file; cmd/qr-bench exposes it as -trace-out). Load the
+// file in Perfetto (ui.perfetto.dev) or chrome://tracing: one track per
+// node, one row per transaction.
+var TracePath = "BENCH_trace.json"
+
+// traceBufferSize sizes the experiment span rings. Quick-scale cells emit a
+// few thousand spans; 1<<16 keeps even full-scale contended cells from
+// wrapping (a wrapped ring only loses old traces — the checker counts them
+// Incomplete and skips them — but full retention gives it full coverage).
+const traceBufferSize = 1 << 16
+
+// Trace runs the tracing experiment: a contended workload per protocol mode
+// with span collection on, every transaction's causal tree assembled and
+// checked against the protocol invariants (see obs.CheckTrace), and the
+// merged spans exported as Chrome trace-event JSON for Perfetto. Violations
+// are an error: the experiment doubles as an end-to-end protocol audit.
+func Trace(ctx context.Context, s Scale) ([]Table, error) {
+	t := Table{
+		ID:     "trace",
+		Title:  "causal span traces per protocol (hashmap, invariant-checked)",
+		Header: []string{"mode", "commits", "spans", "traces", "incomplete", "violations"},
+	}
+	var all []obs.Violation
+	var merged []proto.Span
+	for _, mode := range figureModes {
+		reg := obs.NewRegistry().WithSpans(obs.NewSpanBuffer(traceBufferSize))
+		cfg := s.config("hashmap", benchDefaults["hashmap"], mode)
+		cfg.Obs = reg
+		res, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trace %v: %w", mode, err)
+		}
+		spans := reg.Spans().Spans()
+		check := obs.CheckTrace(spans)
+		t.Rows = append(t.Rows, []string{
+			mode.String(), fmt.Sprint(res.Commits), fmt.Sprint(check.Spans),
+			fmt.Sprint(check.Traces), fmt.Sprint(check.Incomplete),
+			fmt.Sprint(len(check.Violations)),
+		})
+		all = append(all, check.Violations...)
+		merged = obs.MergeSpans(merged, spans)
+	}
+	if TracePath != "" {
+		if err := writeChromeFile(TracePath, merged); err != nil {
+			return nil, err
+		}
+	}
+	if len(all) > 0 {
+		return []Table{t}, fmt.Errorf("trace: %d invariant violations, first: %s", len(all), all[0].String())
+	}
+	return []Table{t}, nil
+}
+
+// writeChromeFile writes spans as a Chrome trace-event JSON file.
+func writeChromeFile(path string, spans []proto.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: creating %s: %w", path, err)
+	}
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// faultTraceIters is the iteration count for the faults invariant audit at
+// full scale; quick scale divides it down (see TransientFaults).
+const faultTraceIters = 100
+
+// faultTraceAudit repeatedly runs a small drop-injected cell with tracing on
+// and invariant-checks every iteration's trace. Duplicate and dropped
+// deliveries exercise the checker's tolerance for redelivery while still
+// requiring version monotonicity and correct abort routing end to end.
+func faultTraceAudit(ctx context.Context, s Scale, iters int) (Table, error) {
+	t := Table{
+		ID:     "faultchk",
+		Title:  fmt.Sprintf("trace invariant audit under drops (%d iterations)", iters),
+		Header: []string{"mode", "iterations", "traces", "spans", "incomplete", "violations"},
+	}
+	for _, mode := range []core.Mode{core.Closed, core.Checkpoint} {
+		var traces, spans, incomplete, violations int
+		var first *obs.Violation
+		for i := 0; i < iters; i++ {
+			reg := obs.NewRegistry().WithSpans(obs.NewSpanBuffer(traceBufferSize))
+			cfg := s.config("hashmap", benchDefaults["hashmap"], mode)
+			cfg.Clients, cfg.TxnsPerClient = 2, 3
+			cfg.Seed = s.Seed + uint64(i)
+			cfg.DropRate = 0.05
+			cfg.RetryAttempts = 8
+			cfg.Obs = reg
+			if _, err := Run(ctx, cfg); err != nil {
+				return t, fmt.Errorf("faultchk %v iter %d: %w", mode, i, err)
+			}
+			check := obs.CheckTrace(reg.Spans().Spans())
+			traces += check.Traces
+			spans += check.Spans
+			incomplete += check.Incomplete
+			violations += len(check.Violations)
+			if first == nil && len(check.Violations) > 0 {
+				v := check.Violations[0]
+				first = &v
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.String(), fmt.Sprint(iters), fmt.Sprint(traces), fmt.Sprint(spans),
+			fmt.Sprint(incomplete), fmt.Sprint(violations),
+		})
+		if first != nil {
+			return t, fmt.Errorf("faultchk %v: %d invariant violations, first: %s", mode, violations, first.String())
+		}
+	}
+	return t, nil
+}

@@ -7,15 +7,23 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"qrdtm/internal/proto"
 )
 
 // Admin assembles the live-inspection HTTP surface of a node or client:
 //
 //	/metrics        expvar-style JSON: every registered source, evaluated
-//	                at request time
-//	/healthz        200 "ok" (liveness)
+//	                at request time; ?format=prom (or an Accept header
+//	                naming the 0.0.4 text format) switches to Prometheus
+//	                text exposition of the attached registry
+//	/healthz        liveness — plain "ok", or a JSON Health document when
+//	                a health producer is registered
+//	/trace          the attached registry's span buffer as JSON (trace
+//	                collection for the merger/checker)
 //	/debug/pprof/   the standard Go profiler endpoints
 //
 // Sources are named producer functions so the same mux serves whatever the
@@ -24,6 +32,8 @@ import (
 type Admin struct {
 	mu      sync.Mutex
 	sources map[string]func() any
+	health  func() Health
+	reg     *Registry
 	started time.Time
 }
 
@@ -41,8 +51,61 @@ func (a *Admin) Source(name string, fn func() any) *Admin {
 	return a
 }
 
-// metrics evaluates every source into one stable-ordered JSON document.
-func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
+// WithRegistry attaches the registry backing /metrics?format=prom and
+// /trace. Without one, the Prometheus format renders an empty registry and
+// /trace serves an empty span list.
+func (a *Admin) WithRegistry(r *Registry) *Admin {
+	a.mu.Lock()
+	a.reg = r
+	a.mu.Unlock()
+	return a
+}
+
+// Health is the /healthz document: enough for an operator to spot a node
+// serving a stale quorum view or cut off from its peers.
+type Health struct {
+	Status    string `json:"status"`
+	Node      int    `json:"node"`
+	Role      string `json:"role"`
+	ViewEpoch uint64 `json:"view_epoch"`
+	PeersUp   int    `json:"peers_up"`
+	PeersDown int    `json:"peers_down"`
+}
+
+// HealthSource registers the /healthz detail producer; without one the
+// endpoint answers a bare "ok".
+func (a *Admin) HealthSource(fn func() Health) *Admin {
+	a.mu.Lock()
+	a.health = fn
+	a.mu.Unlock()
+	return a
+}
+
+// wantsProm reports whether the request negotiated the Prometheus text
+// exposition: an explicit ?format=prom, or an Accept header naming the
+// 0.0.4 text format or OpenMetrics.
+func wantsProm(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prom" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "version=0.0.4") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// metrics evaluates every source into one stable-ordered JSON document, or
+// renders the attached registry in Prometheus text format when negotiated.
+func (a *Admin) metrics(w http.ResponseWriter, r *http.Request) {
+	if wantsProm(r) {
+		a.mu.Lock()
+		reg := a.reg
+		a.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteProm(w, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
 	a.mu.Lock()
 	names := make([]string, 0, len(a.sources))
 	fns := make(map[string]func() any, len(a.sources))
@@ -67,13 +130,39 @@ func (a *Admin) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// Mux returns the handler serving /metrics, /healthz and /debug/pprof/.
+// Mux returns the handler serving /metrics, /healthz, /trace and
+// /debug/pprof/.
 func (a *Admin) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.metrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
+		a.mu.Lock()
+		health := a.health
+		a.mu.Unlock()
+		if health == nil {
+			w.Header().Set("Content-Type", "text/plain")
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(health()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		a.mu.Lock()
+		reg := a.reg
+		a.mu.Unlock()
+		spans := reg.Spans().Spans()
+		if spans == nil {
+			spans = []proto.Span{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

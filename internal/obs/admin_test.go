@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"qrdtm/internal/proto"
 )
 
 func TestAdminEndpoints(t *testing.T) {
@@ -110,6 +112,150 @@ func TestAdminListenAndServe(t *testing.T) {
 	// A nonsense address must fail synchronously.
 	if _, _, err := NewAdmin().ListenAndServe("256.0.0.1:bogus"); err == nil {
 		t.Error("bad addr: want synchronous error")
+	}
+}
+
+func TestAdminTraceEndpoint(t *testing.T) {
+	admin := NewAdmin()
+	srv := httptest.NewServer(admin.Mux())
+	defer srv.Close()
+
+	get := func(t *testing.T) []proto.Span {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type %q", ct)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		// Must always be a JSON array — "null" would break collectors.
+		if !strings.HasPrefix(strings.TrimSpace(string(body)), "[") {
+			t.Fatalf("/trace is not a JSON array: %q", body)
+		}
+		var spans []proto.Span
+		if err := json.Unmarshal(body, &spans); err != nil {
+			t.Fatalf("/trace not parseable: %v", err)
+		}
+		return spans
+	}
+
+	// No registry attached: an empty array, not an error or null.
+	if spans := get(t); len(spans) != 0 {
+		t.Fatalf("unattached admin served %d spans", len(spans))
+	}
+
+	// With a traced registry, recorded spans round-trip through the endpoint.
+	reg := NewRegistry().WithSpans(NewSpanBuffer(16))
+	admin.WithRegistry(reg)
+	sp := reg.StartSpan(proto.SpanRoot, 2, proto.TraceContext{})
+	sp.SetTxn(7)
+	sp.End()
+	spans := get(t)
+	if len(spans) != 1 || spans[0].Txn != 7 || spans[0].Node != 2 || spans[0].Kind != proto.SpanRoot {
+		t.Fatalf("served spans = %+v", spans)
+	}
+}
+
+func TestAdminPromNegotiation(t *testing.T) {
+	admin := NewAdmin().WithRegistry(promRegistry())
+	srv := httptest.NewServer(admin.Mux())
+	defer srv.Close()
+
+	fetch := func(t *testing.T, path string, accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	t.Run("query-param", func(t *testing.T) {
+		body, ct := fetch(t, "/metrics?format=prom", "")
+		if ct != "text/plain; version=0.0.4; charset=utf-8" {
+			t.Errorf("content type %q", ct)
+		}
+		for _, want := range []string{
+			"# TYPE qrdtm_aborts_total counter",
+			`qrdtm_aborts_total{cause="read-validation"} 2`,
+			"# TYPE qrdtm_read_rtt_seconds histogram",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("prom body missing %q:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("accept-header", func(t *testing.T) {
+		body, ct := fetch(t, "/metrics", "text/plain; version=0.0.4")
+		if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "qrdtm_aborts_total") {
+			t.Errorf("0.0.4 Accept not honoured: ct=%q", ct)
+		}
+		body, ct = fetch(t, "/metrics", "application/openmetrics-text")
+		if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "qrdtm_aborts_total") {
+			t.Errorf("openmetrics Accept not honoured: ct=%q", ct)
+		}
+	})
+
+	t.Run("default-stays-json", func(t *testing.T) {
+		body, ct := fetch(t, "/metrics", "")
+		if ct != "application/json" {
+			t.Errorf("default content type %q", ct)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Errorf("default /metrics not JSON: %v", err)
+		}
+	})
+
+	t.Run("no-registry", func(t *testing.T) {
+		bare := httptest.NewServer(NewAdmin().Mux())
+		defer bare.Close()
+		resp, err := http.Get(bare.URL + "/metrics?format=prom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("prom without registry: %d", resp.StatusCode)
+		}
+	})
+}
+
+func TestAdminHealthzDocument(t *testing.T) {
+	admin := NewAdmin().HealthSource(func() Health {
+		return Health{Status: "ok", Node: 4, Role: "replica", ViewEpoch: 2, PeersUp: 3, PeersDown: 1}
+	})
+	srv := httptest.NewServer(admin.Mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("healthz not a JSON document: %v", err)
+	}
+	want := Health{Status: "ok", Node: 4, Role: "replica", ViewEpoch: 2, PeersUp: 3, PeersDown: 1}
+	if h != want {
+		t.Fatalf("healthz = %+v, want %+v", h, want)
 	}
 }
 

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+// ms converts a millisecond offset into the span timestamp unit (ns).
+func ms(n int64) int64 { return n * 1e6 }
+
+// validTimeline builds a two-transaction timeline that satisfies every
+// invariant: transaction T1 reads y@1 and commits y@2 through node 1;
+// transaction T2 later reads y and sees v2.
+func validTimeline() []proto.Span {
+	const t1, t2 = uint64(0xaa), uint64(0xbb)
+	return []proto.Span{
+		// T1: root -> attempt -> {read y@1, commit installing y@2}.
+		{Trace: t1, ID: 1, Node: 0, Kind: proto.SpanRoot, Start: ms(0), End: ms(100), Txn: 1, OK: true},
+		{Trace: t1, ID: 2, Parent: 1, Node: 0, Kind: proto.SpanAttempt, Start: ms(1), End: ms(99), Txn: 1, OK: true},
+		{Trace: t1, ID: 3, Parent: 2, Node: 0, Kind: proto.SpanRead, Start: ms(2), End: ms(10), Txn: 1, Obj: "y", Version: 1, OK: true},
+		{Trace: t1, ID: 4, Parent: 3, Node: 1, Kind: proto.SpanServeRead, Start: ms(3), End: ms(9), Txn: 1, Obj: "y", Version: 1, OK: true},
+		{Trace: t1, ID: 5, Parent: 2, Node: 0, Kind: proto.SpanCommit, Start: ms(20), End: ms(90), Txn: 1, OK: true,
+			Items: []proto.SpanItem{{Obj: "y", Version: 2}}},
+		{Trace: t1, ID: 6, Parent: 5, Node: 1, Kind: proto.SpanServePrepare, Start: ms(21), End: ms(30), Txn: 1, OK: true},
+		{Trace: t1, ID: 7, Parent: 5, Node: 1, Kind: proto.SpanServeDecide, Start: ms(40), End: ms(50), Txn: 1, OK: true,
+			Items: []proto.SpanItem{{Obj: "y", Version: 2}}},
+		// T2: a later read must observe v2.
+		{Trace: t2, ID: 11, Node: 0, Kind: proto.SpanRoot, Start: ms(200), End: ms(300), Txn: 2, OK: true},
+		{Trace: t2, ID: 12, Parent: 11, Node: 0, Kind: proto.SpanAttempt, Start: ms(201), End: ms(299), Txn: 2, OK: true},
+		{Trace: t2, ID: 13, Parent: 12, Node: 0, Kind: proto.SpanRead, Start: ms(210), End: ms(220), Txn: 2, Obj: "y", Version: 2, OK: true},
+		{Trace: t2, ID: 14, Parent: 13, Node: 1, Kind: proto.SpanServeRead, Start: ms(211), End: ms(219), Txn: 2, Obj: "y", Version: 2, OK: true},
+	}
+}
+
+func TestCheckTraceValidTimeline(t *testing.T) {
+	res := CheckTrace(validTimeline())
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 2 || res.Incomplete != 0 {
+		t.Fatalf("traces=%d incomplete=%d, want 2/0", res.Traces, res.Incomplete)
+	}
+	if res.Spans != 11 {
+		t.Fatalf("spans=%d, want 11", res.Spans)
+	}
+}
+
+func TestCheckTraceEmpty(t *testing.T) {
+	res := CheckTrace(nil)
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 0 {
+		t.Fatalf("traces = %d", res.Traces)
+	}
+}
+
+// corrupt returns the valid timeline with span id mutated in place.
+func corrupt(t *testing.T, id uint64, f func(*proto.Span)) []proto.Span {
+	t.Helper()
+	spans := validTimeline()
+	for i := range spans {
+		if spans[i].ID == id {
+			f(&spans[i])
+			return spans
+		}
+	}
+	t.Fatalf("span %d not in timeline", id)
+	return nil
+}
+
+func wantViolation(t *testing.T, res CheckResult, invariant string) Violation {
+	t.Helper()
+	if len(res.Violations) == 0 {
+		t.Fatalf("checker accepted a corrupted trace (want %s violation)", invariant)
+	}
+	for _, v := range res.Violations {
+		if v.Invariant == invariant {
+			if len(v.Chain) == 0 {
+				t.Fatalf("%s violation carries no span chain: %+v", invariant, v)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no %s violation in %+v", invariant, res.Violations)
+	return Violation{}
+}
+
+func TestCheckTraceCatchesStaleRead(t *testing.T) {
+	// T2's client read reports v1 even though T1's commit of v2 fully
+	// completed 120ms earlier — a 1-copy equivalence breach.
+	spans := corrupt(t, 13, func(s *proto.Span) { s.Version = 1 })
+	v := wantViolation(t, CheckTrace(spans), "read-consistency")
+	if v.Span.ID != 13 {
+		t.Fatalf("violation anchored at span %d, want the stale read 13", v.Span.ID)
+	}
+	// The chain names the offending read and walks to the transaction root.
+	msg := v.String()
+	if !strings.Contains(msg, "read") || !strings.Contains(msg, "root") {
+		t.Fatalf("violation chain does not name read and root:\n%s", msg)
+	}
+	if v.Chain[len(v.Chain)-1].Kind != proto.SpanRoot {
+		t.Fatalf("chain does not end at the root: %+v", v.Chain)
+	}
+}
+
+func TestCheckTraceCatchesVersionRegression(t *testing.T) {
+	// Node 1's serve-read reports v1 after the same node installed v2 — a
+	// replica-side version regression.
+	spans := corrupt(t, 14, func(s *proto.Span) { s.Version = 1 })
+	v := wantViolation(t, CheckTrace(spans), "monotone-versions")
+	if v.Span.ID != 14 {
+		t.Fatalf("violation anchored at span %d, want serve-read 14", v.Span.ID)
+	}
+	if !strings.Contains(v.Detail, "regress") {
+		t.Fatalf("detail does not describe the regression: %s", v.Detail)
+	}
+}
+
+func TestCheckTraceCatchesEscapedInterval(t *testing.T) {
+	// A read claiming to have run long after its attempt ended (beyond the
+	// clock-skew slack) breaks causal containment.
+	spans := corrupt(t, 3, func(s *proto.Span) { s.Start, s.End = ms(150), ms(160) })
+	wantViolation(t, CheckTrace(spans), "structure")
+}
+
+func TestCheckTraceCTDepth(t *testing.T) {
+	spans := validTimeline()
+	spans = append(spans,
+		proto.Span{Trace: 0xaa, ID: 8, Parent: 2, Node: 0, Kind: proto.SpanCT, Start: ms(11), End: ms(19), Depth: 1, OK: true},
+		proto.Span{Trace: 0xaa, ID: 9, Parent: 8, Node: 0, Kind: proto.SpanCT, Start: ms(12), End: ms(18), Depth: 2, OK: true},
+	)
+	if err := CheckTrace(spans).Err(); err != nil {
+		t.Fatal(err)
+	}
+	spans[len(spans)-1].Depth = 3 // grandchild claims depth 3 under depth-1 parent
+	wantViolation(t, CheckTrace(spans), "structure")
+}
+
+func TestCheckTraceAbortRouting(t *testing.T) {
+	build := func(abortDepth int) []proto.Span {
+		return []proto.Span{
+			{Trace: 0xcc, ID: 1, Node: 0, Kind: proto.SpanRoot, Start: ms(0), End: ms(50), Txn: 3},
+			{Trace: 0xcc, ID: 2, Parent: 1, Node: 0, Kind: proto.SpanAttempt, Start: ms(1), End: ms(49), Txn: 3},
+			// A depth-2 read denied by a replica naming owner depth 1.
+			{Trace: 0xcc, ID: 3, Parent: 2, Node: 0, Kind: proto.SpanRead, Start: ms(2), End: ms(10), Txn: 3, Obj: "x", Depth: 2, Chk: proto.NoChk},
+			{Trace: 0xcc, ID: 4, Parent: 3, Node: 1, Kind: proto.SpanServeRead, Start: ms(3), End: ms(9), Txn: 3, Obj: "x", Depth: 1, Chk: proto.NoChk, OK: false},
+			{Trace: 0xcc, ID: 5, Parent: 3, Node: 0, Kind: proto.SpanAbort, Start: ms(10), End: ms(10), Txn: 3, Obj: "x", Depth: abortDepth, Chk: proto.NoChk},
+		}
+	}
+	if err := CheckTrace(build(1)).Err(); err != nil {
+		t.Fatalf("correct routing rejected: %v", err)
+	}
+	// An abort restarting from the root when the denial named depth 1 wastes
+	// the partial-abort guarantee — the checker must flag it.
+	v := wantViolation(t, CheckTrace(build(0)), "abort-routing")
+	if !strings.Contains(v.Detail, "depth 0") || !strings.Contains(v.Detail, "depth 1") {
+		t.Fatalf("detail does not name both depths: %s", v.Detail)
+	}
+}
+
+func TestCheckTraceCheckpointNesting(t *testing.T) {
+	build := func(secondChk int) []proto.Span {
+		return []proto.Span{
+			{Trace: 0xdd, ID: 1, Node: 0, Kind: proto.SpanRoot, Start: ms(0), End: ms(50), Txn: 4},
+			{Trace: 0xdd, ID: 2, Parent: 1, Node: 0, Kind: proto.SpanAttempt, Start: ms(1), End: ms(49), Txn: 4},
+			{Trace: 0xdd, ID: 3, Parent: 2, Node: 0, Kind: proto.SpanCheckpoint, Start: ms(5), End: ms(5), Txn: 4, Chk: 1, OK: true},
+			{Trace: 0xdd, ID: 4, Parent: 2, Node: 0, Kind: proto.SpanCheckpoint, Start: ms(10), End: ms(10), Txn: 4, Chk: secondChk, OK: true},
+			{Trace: 0xdd, ID: 5, Parent: 2, Node: 0, Kind: proto.SpanRollback, Start: ms(20), End: ms(20), Txn: 4, Chk: 1, OK: true},
+			{Trace: 0xdd, ID: 6, Parent: 2, Node: 0, Kind: proto.SpanCheckpoint, Start: ms(30), End: ms(30), Txn: 4, Chk: 2, OK: true},
+		}
+	}
+	if err := CheckTrace(build(2)).Err(); err != nil {
+		t.Fatalf("valid checkpoint sequence rejected: %v", err)
+	}
+	// A skipped epoch means a checkpoint was lost.
+	wantViolation(t, CheckTrace(build(3)), "checkpoint-nesting")
+	// A rollback to an epoch never taken.
+	spans := build(2)
+	spans[4].Chk = 5
+	wantViolation(t, CheckTrace(spans), "checkpoint-nesting")
+}
+
+func TestCheckTraceIncompleteSkipped(t *testing.T) {
+	spans := validTimeline()
+	// Drop T2's attempt (ID 12): its read now has a dangling parent, so the
+	// whole trace must be counted incomplete and skipped, not mis-checked.
+	var kept []proto.Span
+	for _, s := range spans {
+		if s.ID != 12 {
+			kept = append(kept, s)
+		}
+	}
+	// Also corrupt the now-incomplete trace; the checker must NOT report it.
+	for i := range kept {
+		if kept[i].ID == 13 {
+			kept[i].Version = 1
+		}
+	}
+	res := CheckTrace(kept)
+	if res.Incomplete != 1 {
+		t.Fatalf("incomplete = %d, want 1", res.Incomplete)
+	}
+	if res.Traces != 1 {
+		t.Fatalf("traces = %d, want 1 (T1 only)", res.Traces)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("incomplete trace was checked anyway: %v", err)
+	}
+}
+
+// TestCheckTraceDuplicateDelivery pins redelivery tolerance: a duplicated
+// serve-decide (FaultTransport's duplicate fault, or a retry that applied
+// twice) re-installs the same version and must not trip monotonicity.
+func TestCheckTraceDuplicateDelivery(t *testing.T) {
+	spans := validTimeline()
+	spans = append(spans, proto.Span{
+		Trace: 0xaa, ID: 21, Parent: 5, Node: 1, Kind: proto.SpanServeDecide,
+		Start: ms(60), End: ms(70), Txn: 1, OK: true,
+		Items: []proto.SpanItem{{Obj: "y", Version: 2}},
+	})
+	if err := CheckTrace(spans).Err(); err != nil {
+		t.Fatalf("duplicate delivery flagged: %v", err)
+	}
+}

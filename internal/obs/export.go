@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"qrdtm/internal/proto"
+)
+
+// MergeSpans merges span dumps collected from multiple nodes into one
+// timeline: duplicates (the same span collected twice) are dropped by span
+// ID and the result is sorted by start time. This is the input both
+// exporters and CheckTrace expect.
+func MergeSpans(dumps ...[]proto.Span) []proto.Span {
+	seen := make(map[uint64]struct{})
+	var out []proto.Span
+	for _, d := range dumps {
+		for _, s := range d {
+			if _, dup := seen[s.ID]; dup {
+				continue
+			}
+			seen[s.ID] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Ts   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders merged spans as Chrome trace-event JSON: one
+// process ("track group") per node, one thread row per transaction attempt,
+// every span a complete ("X") event whose args carry the causal links
+// (trace/span/parent IDs) plus the protocol payload. Timestamps are
+// rebased to the earliest span so the viewer opens at t=0.
+func WriteChromeTrace(w io.Writer, spans []proto.Span) error {
+	var base int64
+	for i, s := range spans {
+		if i == 0 || s.Start < base {
+			base = s.Start
+		}
+	}
+	events := make([]chromeEvent, 0, len(spans)+8)
+	nodes := make(map[proto.NodeID]struct{})
+	for _, s := range spans {
+		if _, ok := nodes[s.Node]; !ok {
+			nodes[s.Node] = struct{}{}
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: int(s.Node),
+				Args: map[string]any{"name": fmt.Sprintf("node %d", int(s.Node))},
+			})
+		}
+		name := s.Kind.String()
+		if s.Obj != "" {
+			name = fmt.Sprintf("%s %s", s.Kind, s.Obj)
+		}
+		args := map[string]any{
+			"trace":  fmt.Sprintf("%016x", s.Trace),
+			"span":   fmt.Sprintf("%016x", s.ID),
+			"parent": fmt.Sprintf("%016x", s.Parent),
+			"ok":     s.OK,
+		}
+		if s.Obj != "" {
+			args["obj"] = string(s.Obj)
+		}
+		if s.Version != 0 {
+			args["version"] = uint64(s.Version)
+		}
+		if s.Depth != 0 {
+			args["depth"] = s.Depth
+		}
+		if s.Chk != 0 {
+			args["chk"] = s.Chk
+		}
+		if s.Note != "" {
+			args["note"] = s.Note
+		}
+		if len(s.Items) > 0 {
+			items := make([]string, len(s.Items))
+			for i, it := range s.Items {
+				items[i] = fmt.Sprintf("%s@%d", it.Obj, uint64(it.Version))
+			}
+			args["items"] = items
+		}
+		dur := float64(s.End-s.Start) / 1e3
+		if dur < 0.001 {
+			dur = 0.001 // instant events still get a visible sliver
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Pid:  int(s.Node),
+			Tid:  uint64(s.Txn),
+			Ts:   float64(s.Start-base) / 1e3,
+			Dur:  dur,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}

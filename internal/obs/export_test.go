@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+func TestMergeSpansDedupAndOrder(t *testing.T) {
+	a := []proto.Span{
+		{Trace: 1, ID: 10, Start: ms(5), End: ms(6)},
+		{Trace: 1, ID: 11, Start: ms(1), End: ms(2)},
+	}
+	b := []proto.Span{
+		{Trace: 1, ID: 10, Start: ms(5), End: ms(6)}, // same span, second dump
+		{Trace: 1, ID: 12, Start: ms(3), End: ms(4)},
+	}
+	out := MergeSpans(a, b)
+	if len(out) != 3 {
+		t.Fatalf("merged %d spans, want 3 (duplicate dropped)", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Start < out[i-1].Start {
+			t.Fatalf("not sorted by start: %+v", out)
+		}
+	}
+	if out[0].ID != 11 || out[1].ID != 12 || out[2].ID != 10 {
+		t.Fatalf("order = %d,%d,%d", out[0].ID, out[1].ID, out[2].ID)
+	}
+	if MergeSpans() != nil {
+		t.Fatal("empty merge should be nil")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	spans := validTimeline()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  uint64         `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var complete, meta int
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			pids[ev.Pid] = true
+			if ev.Args["trace"] == "" || ev.Args["span"] == "" {
+				t.Fatalf("event %q lacks causal args: %+v", ev.Name, ev.Args)
+			}
+			if ev.Dur <= 0 {
+				t.Fatalf("event %q has non-positive duration", ev.Name)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != len(spans) {
+		t.Fatalf("complete events = %d, want %d", complete, len(spans))
+	}
+	// One process-name metadata record per node (0 and 1 in the timeline).
+	if meta != 2 || !pids[0] || !pids[1] {
+		t.Fatalf("meta=%d pids=%v, want one track per node", meta, pids)
+	}
+	// Timestamps are rebased: the earliest span starts at ts 0.
+	minTs := doc.TraceEvents[0].Ts
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Ts < minTs {
+			minTs = ev.Ts
+		}
+	}
+	if minTs != 0 {
+		t.Fatalf("earliest ts = %v, want 0 (rebased)", minTs)
+	}
+}
+
+func TestSpanKindRoundTrip(t *testing.T) {
+	kinds := []proto.SpanKind{
+		proto.SpanRoot, proto.SpanAttempt, proto.SpanCT, proto.SpanRead,
+		proto.SpanCommit, proto.SpanAbort, proto.SpanCheckpoint, proto.SpanRollback,
+		proto.SpanServeRead, proto.SpanServePrepare, proto.SpanServeDecide, proto.SpanServeRelease,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		b, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[string(b)] {
+			t.Fatalf("duplicate kind name %q", b)
+		}
+		seen[string(b)] = true
+		var back proto.SpanKind
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v -> %q -> %v", k, b, back)
+		}
+	}
+	var bad proto.SpanKind
+	if err := bad.UnmarshalText([]byte("nope")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -183,6 +183,27 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// CumBucket is one step of a cumulative bucket distribution: Count samples
+// were ≤ UpperBound (Prometheus "le" semantics).
+type CumBucket struct {
+	UpperBound int64
+	Count      uint64
+}
+
+// CumBuckets converts the sparse bucket list into a cumulative distribution
+// suitable for Prometheus histogram exposition. Only non-empty buckets
+// produce steps; the final step's Count equals the snapshot's Count.
+func (s HistSnapshot) CumBuckets() []CumBucket {
+	out := make([]CumBucket, 0, len(s.buckets))
+	var cum uint64
+	for _, b := range s.buckets {
+		_, hi := bucketBounds(b.Idx)
+		cum += b.N
+		out = append(out, CumBucket{UpperBound: int64(hi), Count: cum})
+	}
+	return out
+}
+
 // Quantile returns the q-quantile (q in [0,1]) as the midpoint of the bucket
 // holding the target rank — within 1/histSub (~3%) of the true sample value.
 func (s HistSnapshot) Quantile(q float64) int64 {

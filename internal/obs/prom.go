@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// This file renders a registry snapshot in the Prometheus text exposition
+// format (version 0.0.4), so a scrape of /metrics?format=prom drops
+// straight into an existing Prometheus/Grafana stack without any exporter
+// sidecar. Output order is deterministic (Sites and Causes presentation
+// order), which also makes it golden-file testable.
+
+// Dimensionless reports whether the site records raw values rather than
+// durations; its Prometheus histogram is emitted unscaled and without the
+// _seconds unit suffix.
+func (s Site) Dimensionless() bool { return s == SiteRollbackDepth }
+
+// promName converts a site name ("read_rtt") into its Prometheus metric
+// family name ("qrdtm_read_rtt_seconds"); dimensionless sites keep raw
+// units ("qrdtm_rollback_depth").
+func promName(s Site) string {
+	if s.Dimensionless() {
+		return "qrdtm_" + s.String()
+	}
+	return "qrdtm_" + s.String() + "_seconds"
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the snapshot as Prometheus text exposition: abort
+// counters as one counter family labeled by cause, every site histogram as
+// a # TYPE-annotated histogram with cumulative le buckets. Duration sites
+// are exposed in seconds (the Prometheus base unit).
+func WriteProm(w io.Writer, snap Snapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP qrdtm_aborts_total Transaction aborts by cause.\n# TYPE qrdtm_aborts_total counter\n"); err != nil {
+		return err
+	}
+	for _, c := range Causes {
+		if _, err := fmt.Fprintf(w, "qrdtm_aborts_total{cause=%q} %d\n", c.String(), snap.Aborts[c.String()]); err != nil {
+			return err
+		}
+	}
+	for _, site := range Sites {
+		if err := WritePromHist(w, promName(site), snap.Hists[site], !site.Dimensionless()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePromHist writes one histogram family in Prometheus text format.
+// seconds scales nanosecond samples to seconds; pass false for
+// dimensionless histograms.
+func WritePromHist(w io.Writer, name string, h HistSnapshot, seconds bool) error {
+	scale := 1.0
+	if seconds {
+		scale = 1 / float64(time.Second)
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	for _, b := range h.CumBuckets() {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(float64(b.UpperBound)*scale), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.Sum)*scale)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	return err
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promRegistry builds a registry with deterministic contents: fixed samples
+// land in fixed buckets, so the text exposition is byte-stable.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Abort(CauseReadValidation)
+	r.Abort(CauseReadValidation)
+	r.Abort(CauseLockDenied)
+	r.Hist(SiteReadRTT).Record(int64(1 * time.Millisecond))
+	r.Hist(SiteReadRTT).Record(int64(2 * time.Millisecond))
+	r.Hist(SiteReadRTT).Record(int64(8 * time.Millisecond))
+	r.Hist(SiteTxnLatency).Record(int64(20 * time.Millisecond))
+	r.Hist(SiteRollbackDepth).Record(2)
+	r.Hist(SiteRollbackDepth).Record(3)
+	return r
+}
+
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prom exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to regenerate)", buf.Bytes(), want)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Counter family with TYPE annotation and per-cause labels.
+	if !strings.Contains(out, "# TYPE qrdtm_aborts_total counter") {
+		t.Fatal("missing counter TYPE line")
+	}
+	if !strings.Contains(out, `qrdtm_aborts_total{cause="read-validation"} 2`) {
+		t.Fatalf("missing labeled abort counter:\n%s", out)
+	}
+	// Histogram family: TYPE, cumulative buckets, +Inf, sum, count.
+	for _, want := range []string{
+		"# TYPE qrdtm_read_rtt_seconds histogram",
+		`qrdtm_read_rtt_seconds_bucket{le="+Inf"} 3`,
+		"qrdtm_read_rtt_seconds_count 3",
+		"qrdtm_read_rtt_seconds_sum 0.011",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Dimensionless site keeps raw units: no _seconds suffix, raw bounds.
+	if !strings.Contains(out, "# TYPE qrdtm_rollback_depth histogram") {
+		t.Fatal("rollback_depth not exposed dimensionless")
+	}
+	if !strings.Contains(out, `qrdtm_rollback_depth_bucket{le="2"} 1`) {
+		t.Fatalf("rollback depth buckets unscaled missing:\n%s", out)
+	}
+	// Cumulative buckets are non-decreasing.
+	last := -1.0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "qrdtm_read_rtt_seconds_bucket") {
+			continue
+		}
+		n, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("cumulative bucket decreased at %q", line)
+		}
+		last = n
+	}
+}
+
+func TestCumBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1)
+	h.Record(1)
+	h.Record(100)
+	cb := h.Snapshot().CumBuckets()
+	if len(cb) != 2 {
+		t.Fatalf("cum buckets = %+v", cb)
+	}
+	if cb[0].Count != 2 || cb[1].Count != 3 {
+		t.Fatalf("cumulative counts = %+v", cb)
+	}
+	if cb[0].UpperBound != 1 || cb[1].UpperBound < 100 {
+		t.Fatalf("bounds = %+v", cb)
+	}
+	if got := (HistSnapshot{}).CumBuckets(); len(got) != 0 {
+		t.Fatalf("empty snapshot produced buckets: %+v", got)
+	}
+}

@@ -108,6 +108,7 @@ type Registry struct {
 	hists  [numSites]Histogram
 	aborts [numCauses]atomic.Uint64
 	tracer *Tracer
+	spans  *SpanBuffer
 }
 
 // NewRegistry returns an empty registry.

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+func TestSpanBufferNilSafe(t *testing.T) {
+	var b *SpanBuffer
+	b.Add(proto.Span{ID: 1})
+	if b.Seen() != 0 || b.Spans() != nil {
+		t.Fatal("nil span buffer retained something")
+	}
+}
+
+func TestSpanBufferWraparoundOldestFirst(t *testing.T) {
+	b := NewSpanBuffer(4)
+	for i := 1; i <= 6; i++ {
+		b.Add(proto.Span{ID: uint64(i)})
+	}
+	if b.Seen() != 6 {
+		t.Fatalf("Seen = %d", b.Seen())
+	}
+	spans := b.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(i + 3); s.ID != want {
+			t.Fatalf("span %d: id %d, want %d", i, s.ID, want)
+		}
+	}
+}
+
+func TestSpanBufferConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 400
+	b := NewSpanBuffer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				b.Add(proto.Span{ID: uint64(w*perWriter+i) + 1, Trace: 7, Start: 1, End: 2})
+				if i%100 == 0 {
+					_ = b.Spans()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b.Seen() != writers*perWriter {
+		t.Fatalf("Seen = %d", b.Seen())
+	}
+	for _, s := range b.Spans() {
+		if s.Trace != 7 || s.Start != 1 || s.End != 2 || s.ID == 0 {
+			t.Fatalf("torn span: %+v", s)
+		}
+	}
+}
+
+func TestStartSpanIdentity(t *testing.T) {
+	reg := NewRegistry().WithSpans(NewSpanBuffer(16))
+	root := reg.StartSpan(proto.SpanRoot, 3, proto.TraceContext{})
+	if !root.Active() {
+		t.Fatal("span inactive with a buffer attached")
+	}
+	rc := root.Context()
+	if !rc.Valid() || rc.Trace == 0 || rc.Span == 0 {
+		t.Fatalf("root context = %+v", rc)
+	}
+	child := reg.StartSpan(proto.SpanRead, 3, rc)
+	cc := child.Context()
+	if cc.Trace != rc.Trace {
+		t.Fatalf("child trace %x, want parent's %x", cc.Trace, rc.Trace)
+	}
+	if cc.Parent != rc.Span {
+		t.Fatalf("child parent %x, want %x", cc.Parent, rc.Span)
+	}
+	if cc.Span == rc.Span {
+		t.Fatal("child reused parent span ID")
+	}
+	child.SetObj("x")
+	child.SetVersion(9)
+	child.SetOK(true)
+	child.End()
+	root.End()
+	// Context after End is zero: the span is sealed.
+	if root.Context() != (proto.TraceContext{}) {
+		t.Fatal("context non-zero after End")
+	}
+	spans := reg.Spans().Spans()
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(spans))
+	}
+	// Double End must not duplicate.
+	root.End()
+	if got := len(reg.Spans().Spans()); got != 2 {
+		t.Fatalf("double End duplicated: %d spans", got)
+	}
+	for _, s := range spans {
+		if s.End == 0 || s.End < s.Start {
+			t.Fatalf("bad interval: %+v", s)
+		}
+	}
+}
+
+func TestStartRemoteSpan(t *testing.T) {
+	reg := NewRegistry().WithSpans(NewSpanBuffer(16))
+	// An invalid (zero) inbound context must not create orphan spans.
+	sp := reg.StartRemoteSpan(proto.SpanServeRead, 1, proto.TraceContext{})
+	if sp.Active() {
+		t.Fatal("remote span active for untraced request")
+	}
+	sp.End()
+	if reg.Spans().Seen() != 0 {
+		t.Fatal("orphan span recorded")
+	}
+	tc := proto.TraceContext{Trace: 11, Span: 22}
+	sp = reg.StartRemoteSpan(proto.SpanServeRead, 1, tc)
+	sp.SetTxn(5)
+	sp.End()
+	spans := reg.Spans().Spans()
+	if len(spans) != 1 || spans[0].Trace != 11 || spans[0].Parent != 22 || spans[0].Node != 1 {
+		t.Fatalf("remote span = %+v", spans)
+	}
+}
+
+func TestInactiveSpanNoOps(t *testing.T) {
+	var nilReg *Registry
+	sp := nilReg.StartSpan(proto.SpanRoot, 0, proto.TraceContext{})
+	if sp.Active() || sp.Context().Valid() {
+		t.Fatal("nil registry produced an active span")
+	}
+	// Every mutator and End must be a no-op, not a panic.
+	sp.SetTxn(1)
+	sp.SetObj("x")
+	sp.SetVersion(1)
+	sp.SetDepth(1)
+	sp.SetChk(1)
+	sp.SetOK(true)
+	sp.SetNote("n")
+	sp.AddItem("x", 1)
+	sp.End()
+
+	reg := NewRegistry() // no span buffer attached
+	if reg.Tracing() {
+		t.Fatal("Tracing() true without a buffer")
+	}
+	if sp := reg.StartSpan(proto.SpanRoot, 0, proto.TraceContext{}); sp.Active() {
+		t.Fatal("registry without buffer produced an active span")
+	}
+}
+
+// TestNilRegistryTracingZeroAlloc pins the acceptance criterion: with
+// tracing off (nil registry — the default of every figure experiment), the
+// full span lifecycle on the hot read path costs zero allocations.
+func TestNilRegistryTracingZeroAlloc(t *testing.T) {
+	var reg *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := reg.StartSpan(proto.SpanRead, 0, proto.TraceContext{})
+		sp.SetTxn(1)
+		sp.SetObj("obj")
+		sp.SetDepth(2)
+		sp.SetChk(0)
+		tc := sp.Context()
+		rsp := reg.StartRemoteSpan(proto.SpanServeRead, 1, tc)
+		rsp.SetVersion(3)
+		rsp.SetOK(true)
+		rsp.End()
+		sp.SetVersion(3)
+		sp.SetOK(true)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-registry span lifecycle allocates %.1f/op, want 0", allocs)
+	}
+	// Same for a registry without a span buffer (obs on, tracing off).
+	on := NewRegistry()
+	allocs = testing.AllocsPerRun(1000, func() {
+		sp := on.StartSpan(proto.SpanRead, 0, proto.TraceContext{})
+		sp.SetOK(true)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("bufferless registry span lifecycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestNewIDNonZeroAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool, 1000)
+	for i := 0; i < 1000; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("zero ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %x", id)
+		}
+		seen[id] = true
+	}
+}
+
+// BenchmarkStartSpanOff measures the tracing-off cost the engine pays per
+// read when observability is disabled entirely.
+func BenchmarkStartSpanOff(b *testing.B) {
+	var reg *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := reg.StartSpan(proto.SpanRead, 0, proto.TraceContext{})
+		sp.SetObj("x")
+		sp.SetOK(true)
+		sp.End()
+	}
+}
+
+// BenchmarkStartSpanOn measures the recording cost with tracing enabled.
+func BenchmarkStartSpanOn(b *testing.B) {
+	reg := NewRegistry().WithSpans(NewSpanBuffer(1 << 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := reg.StartSpan(proto.SpanRead, 0, proto.TraceContext{})
+		sp.SetObj("x")
+		sp.SetOK(true)
+		sp.End()
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EvCommit})
+	if tr.Seen() != 0 {
+		t.Fatal("nil tracer counted an event")
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer returned events: %v", evs)
+	}
+}
+
+func TestTracerRetainsWindowOldestFirst(t *testing.T) {
+	tr := NewTracer(4, 1, nil)
+	for i := 0; i < 7; i++ {
+		tr.Emit(Event{Kind: EvCommit, Txn: uint64(i + 1)})
+	}
+	if tr.Seen() != 7 {
+		t.Fatalf("Seen = %d, want 7", tr.Seen())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4 (ring size)", len(evs))
+	}
+	// The ring holds the last 4 emits (txns 4..7), oldest first.
+	for i, ev := range evs {
+		if want := uint64(i + 4); ev.Txn != want {
+			t.Fatalf("event %d: txn %d, want %d (events: %+v)", i, ev.Txn, want, evs)
+		}
+	}
+}
+
+func TestTracerSampleEveryBoundary(t *testing.T) {
+	// sampleEvery <= 1 must keep every event (the boundary where the
+	// modulo filter turns off).
+	for _, every := range []int{-3, 0, 1} {
+		tr := NewTracer(16, every, nil)
+		for i := 0; i < 10; i++ {
+			tr.Emit(Event{Kind: EvAbort, Txn: uint64(i)})
+		}
+		if got := len(tr.Events()); got != 10 {
+			t.Fatalf("sampleEvery=%d retained %d events, want all 10", every, got)
+		}
+	}
+	// sampleEvery=3 keeps every third emission (seq 3, 6, 9, ...).
+	tr := NewTracer(16, 3, nil)
+	for i := 0; i < 9; i++ {
+		tr.Emit(Event{Kind: EvAbort, Txn: uint64(i + 1)})
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Fatalf("sampleEvery=3 retained %d of 9 events, want 3", got)
+	}
+	if tr.Seen() != 9 {
+		t.Fatalf("Seen = %d, want 9 (sampled-out included)", tr.Seen())
+	}
+}
+
+func TestTracerConcurrentEmitWraparound(t *testing.T) {
+	const writers, perWriter, ring = 8, 500, 64
+	tr := NewTracer(ring, 1, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Emit(Event{Kind: EvCommit, Txn: uint64(w*perWriter + i), Time: time.Unix(0, 1)})
+				if i%50 == 0 {
+					_ = tr.Events() // concurrent reads while the ring wraps
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Seen() != writers*perWriter {
+		t.Fatalf("Seen = %d, want %d", tr.Seen(), writers*perWriter)
+	}
+	evs := tr.Events()
+	if len(evs) != ring {
+		t.Fatalf("retained %d events after wraparound, want full ring %d", len(evs), ring)
+	}
+	// Every retained event must be internally consistent (whole-pointer
+	// swaps: a fixed Time stamp set by the writer survives).
+	for _, ev := range evs {
+		if ev.Kind != EvCommit || !ev.Time.Equal(time.Unix(0, 1)) {
+			t.Fatalf("torn event: %+v", ev)
+		}
+	}
+}
+
+func TestTracerDefaultSize(t *testing.T) {
+	tr := NewTracer(0, 1, nil)
+	if len(tr.ring) != 1024 {
+		t.Fatalf("default ring size = %d, want 1024", len(tr.ring))
+	}
+}

@@ -85,8 +85,9 @@ type ReadReq struct {
 	Txn     TxnID
 	Obj     ObjectID
 	Write   bool
-	Depth   int        // nesting depth of the requester; 0 means root — only roots are recorded in PR/PW (Algorithm 2, line 17)
-	DataSet []DataItem // nil: plain QR read without incremental validation
+	Depth   int          // nesting depth of the requester; 0 means root — only roots are recorded in PR/PW (Algorithm 2, line 17)
+	DataSet []DataItem   // nil: plain QR read without incremental validation
+	TC      TraceContext // causal trace context (zero when tracing is off)
 }
 
 // ReadRep is a replica's answer to ReadReq. If OK, Copy holds the replica's
@@ -120,6 +121,7 @@ type PrepareReq struct {
 	// Owner is the root transaction that holds AbsLocks (zero when no
 	// abstract locks are requested).
 	Owner TxnID
+	TC    TraceContext // causal trace context (zero when tracing is off)
 }
 
 // PrepareRep is a write-quorum node's vote.
@@ -134,6 +136,7 @@ type DecideReq struct {
 	Txn    TxnID
 	Commit bool
 	Writes []ObjectCopy
+	TC     TraceContext // causal trace context (zero when tracing is off)
 }
 
 // DecideRep acknowledges a DecideReq.
@@ -143,6 +146,7 @@ type DecideRep struct{}
 // (sent to the write quorum when the root finally commits or gives up).
 type ReleaseReq struct {
 	Owner TxnID
+	TC    TraceContext // causal trace context (zero when tracing is off)
 }
 
 // ReleaseRep acknowledges a ReleaseReq.

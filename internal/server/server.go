@@ -92,11 +92,28 @@ func (r *Replica) Metrics() *Metrics { return &r.metrics }
 func (r *Replica) Handle(_ proto.NodeID, req any) any {
 	switch m := req.(type) {
 	case proto.ReadReq:
+		sp := r.obs.StartRemoteSpan(proto.SpanServeRead, r.ID, m.TC)
 		t0 := r.obs.Start()
 		rep := r.handleRead(m)
 		r.obs.ObserveSince(obs.SiteServeRead, t0)
+		sp.SetTxn(m.Txn)
+		sp.SetObj(m.Obj)
+		sp.SetOK(rep.OK)
+		if rep.OK {
+			sp.SetVersion(rep.Copy.Version)
+		} else {
+			// The denial's routing answer: which owner depth / checkpoint
+			// epoch this replica wants aborted.
+			sp.SetDepth(rep.AbortDepth)
+			sp.SetChk(rep.AbortChk)
+			if rep.LockOnly {
+				sp.SetNote("lock-only")
+			}
+		}
+		sp.End()
 		return rep
 	case proto.PrepareReq:
+		sp := r.obs.StartRemoteSpan(proto.SpanServePrepare, r.ID, m.TC)
 		r.metrics.Prepares.Add(1)
 		t0 := r.obs.Start()
 		ok := r.st.PrepareOpen(m.Txn, m.Reads, m.Writes, m.AbsLocks, m.Owner)
@@ -104,14 +121,25 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		if !ok {
 			r.metrics.PrepareRejects.Add(1)
 		}
+		sp.SetTxn(m.Txn)
+		sp.SetOK(ok)
+		sp.End()
 		return proto.PrepareRep{OK: ok}
 	case proto.ReleaseReq:
+		sp := r.obs.StartRemoteSpan(proto.SpanServeRelease, r.ID, m.TC)
 		r.st.ReleaseAbstract(m.Owner)
+		sp.SetTxn(m.Owner)
+		sp.SetOK(true)
+		sp.End()
 		return proto.ReleaseRep{}
 	case proto.DecideReq:
+		sp := r.obs.StartRemoteSpan(proto.SpanServeDecide, r.ID, m.TC)
 		if m.Commit {
 			r.metrics.CommitDecisions.Add(1)
 			r.st.Commit(m.Txn, m.Writes)
+			for _, w := range m.Writes {
+				sp.AddItem(w.ID, w.Version)
+			}
 		} else {
 			r.metrics.AbortDecisions.Add(1)
 			ids := make([]proto.ObjectID, len(m.Writes))
@@ -120,6 +148,9 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 			}
 			r.st.Abort(m.Txn, ids)
 		}
+		sp.SetTxn(m.Txn)
+		sp.SetOK(m.Commit)
+		sp.End()
 		return proto.DecideRep{}
 	case proto.LoadReq:
 		r.st.Load(m.Objects)
@@ -127,6 +158,8 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 	case proto.DumpReq:
 		c, ok := r.st.Get(m.Obj)
 		return proto.DumpRep{OK: ok, Copy: c}
+	case proto.TraceDumpReq:
+		return proto.TraceDumpRep{Node: r.ID, Spans: r.obs.Spans().Spans()}
 	default:
 		panic("server: unknown request type")
 	}

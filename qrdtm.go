@@ -74,10 +74,48 @@ type (
 	AbortCause = obs.AbortCause
 	// ObsSnapshot is a serializable registry snapshot.
 	ObsSnapshot = obs.Snapshot
+	// SpanBuffer retains completed distributed-tracing spans per node.
+	SpanBuffer = obs.SpanBuffer
+	// Span is one completed span of a distributed trace.
+	Span = proto.Span
+	// TraceContext is the causal context piggybacked on wire requests.
+	TraceContext = proto.TraceContext
+	// CheckResult summarizes an obs.CheckTrace run.
+	CheckResult = obs.CheckResult
 )
 
 // NewRegistry returns an empty observability registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewSpanBuffer builds a span ring for distributed tracing; attach it with
+// Registry.WithSpans before building runtimes/clusters.
+func NewSpanBuffer(size int) *SpanBuffer { return obs.NewSpanBuffer(size) }
+
+// MergeSpans merges per-node span dumps into one timeline (see obs.MergeSpans).
+func MergeSpans(dumps ...[]Span) []Span { return obs.MergeSpans(dumps...) }
+
+// CheckTrace verifies protocol invariants over a merged span timeline (see
+// obs.CheckTrace).
+func CheckTrace(spans []Span) CheckResult { return obs.CheckTrace(spans) }
+
+// CollectTrace gathers spans from every given replica node via the
+// transport's TraceDumpReq plus any extra local dumps (e.g. the caller's own
+// span buffer), merged and deduplicated. Nodes that fail to answer are
+// skipped: a partially collected trace is still useful, and CheckTrace
+// counts broken causal chains as incomplete rather than failing them.
+func CollectTrace(ctx context.Context, trans cluster.Transport, from NodeID, nodes []NodeID, local ...[]Span) []Span {
+	dumps := append([][]Span{}, local...)
+	for _, n := range nodes {
+		resp, err := trans.Call(ctx, from, n, proto.TraceDumpReq{})
+		if err != nil {
+			continue
+		}
+		if rep, ok := resp.(proto.TraceDumpRep); ok {
+			dumps = append(dumps, rep.Spans)
+		}
+	}
+	return obs.MergeSpans(dumps...)
+}
 
 // NewTracer builds a transaction tracer (see obs.NewTracer).
 func NewTracer(size, sampleEvery int, logger *slog.Logger) *Tracer {
@@ -223,7 +261,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		runtimes:  make(map[NodeID]*Runtime),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		r := server.New(NodeID(i))
+		// Replicas share the cluster registry, so serve-side spans (and
+		// service-time histograms) land in the same buffer as the client
+		// side's; Span.Node keeps the per-replica attribution.
+		r := server.New(NodeID(i)).WithObs(cfg.Obs)
 		c.Replicas = append(c.Replicas, r)
 		t.Register(NodeID(i), r.Handle)
 	}
