@@ -18,11 +18,12 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/ .
 
-# Fast pre-commit gate: vet plus the race-detected transport, engine and
-# observability suites.
+# Fast pre-commit gate: vet, the race-detected transport, engine and
+# observability suites, and a short wire-message fuzz smoke.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/...
+	$(GO) test -run='^$$' -fuzz=FuzzBatchReadWire -fuzztime=5s ./internal/proto/
 
 # Every paper artifact as a Go benchmark (throughput via b.ReportMetric).
 bench:

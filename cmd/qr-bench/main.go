@@ -33,10 +33,12 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override RNG seed")
 	obsOut := flag.String("obs-out", harness.BenchObsPath, "output path for the obs experiment's JSON (empty disables)")
 	traceOut := flag.String("trace-out", harness.TracePath, "output path for the trace experiment's Chrome trace-event JSON (empty disables)")
+	batchOut := flag.String("batch-out", harness.BenchBatchPath, "output path for the batch experiment's JSON (empty disables)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	harness.BenchObsPath = *obsOut
 	harness.TracePath = *traceOut
+	harness.BenchBatchPath = *batchOut
 
 	if *list {
 		for _, id := range harness.ExperimentOrder {

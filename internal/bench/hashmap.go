@@ -83,11 +83,16 @@ func (h *Hashmap) Setup(p Params, _ *rand.Rand) []proto.ObjectCopy {
 }
 
 // NewTxn implements Workload: p.Ops operations (contains / put / remove),
-// each one step.
+// each one step, preceded by a prefetch of every bucket head the
+// transaction will touch. The keys — and therefore the heads — are fixed at
+// build time, so the heads are a known read set: one batched quorum round
+// fetches them all, and each operation's chainFirst then resolves locally.
 func (h *Hashmap) NewTxn(rng *rand.Rand, p Params) (core.State, []core.Step) {
 	steps := make([]core.Step, p.Ops)
+	heads := make([]proto.ObjectID, 0, p.Ops)
 	for i := range steps {
 		key := int64(rng.IntN(p.Objects))
+		heads = append(heads, h.head(h.bucketOf(key)))
 		switch {
 		case rng.Float64() < p.ReadRatio:
 			steps[i] = h.containsStep(key)
@@ -97,7 +102,10 @@ func (h *Hashmap) NewTxn(rng *rand.Rand, p Params) (core.State, []core.Step) {
 			steps[i] = h.removeStep(key)
 		}
 	}
-	return core.NoState{}, steps
+	prefetch := func(tx *core.Txn, _ core.State) error {
+		return tx.ReadAll(heads...)
+	}
+	return core.NoState{}, append([]core.Step{prefetch}, steps...)
 }
 
 // chainFirst reads a bucket's head pointer.

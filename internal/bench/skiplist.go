@@ -128,10 +128,21 @@ func (s *SkipList) getNode(tx *core.Txn, id proto.ObjectID) (SkipNode, error) {
 
 // descend walks from the head towards key, filling update with the last
 // node visited per level (the relink points for insert/remove).
+//
+// Each node visited prefetches its forward frontier: the descent's next read
+// is always one of the current node's forward pointers at the current level
+// or below, so batching them into one quorum round turns a per-hop round
+// trip into a local lookup for every level the descent drops through. The
+// frontier can over-fetch (a pointer the descent skips past still enters the
+// footprint, widening the conflict window slightly) — the batch experiment
+// prices that trade against the saved rounds.
 func (s *SkipList) descend(tx *core.Txn, key int64) (update [slMaxLevel]proto.ObjectID, updateNodes [slMaxLevel]SkipNode, err error) {
 	curID := s.headID()
 	cur, err := s.getNode(tx, curID)
 	if err != nil {
+		return update, updateNodes, err
+	}
+	if err := s.prefetchFrontier(tx, cur, slMaxLevel-1); err != nil {
 		return update, updateNodes, err
 	}
 	visits := 0
@@ -148,10 +159,33 @@ func (s *SkipList) descend(tx *core.Txn, key int64) (update [slMaxLevel]proto.Ob
 				break
 			}
 			curID, cur = cur.Forward[l], next
+			if err := s.prefetchFrontier(tx, cur, l); err != nil {
+				return update, updateNodes, err
+			}
 		}
 		update[l], updateNodes[l] = curID, cur
 	}
 	return update, updateNodes, nil
+}
+
+// prefetchFrontier batches the node's forward pointers at maxLvl and below
+// into one read round. Levels above maxLvl are behind the descent and never
+// visited; empty pointers terminate levels and are skipped.
+func (s *SkipList) prefetchFrontier(tx *core.Txn, n SkipNode, maxLvl int) error {
+	fwd := n.Forward
+	if maxLvl+1 < len(fwd) {
+		fwd = fwd[:maxLvl+1]
+	}
+	ids := make([]proto.ObjectID, 0, len(fwd))
+	for _, id := range fwd {
+		if id != "" {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	return tx.ReadAll(ids...)
 }
 
 func (s *SkipList) containsStep(key int64) core.Step {

@@ -101,9 +101,24 @@ func (v *Vacation) NewTxn(rng *rand.Rand, p Params) (core.State, []core.Step) {
 	return core.NoState{}, steps
 }
 
+// rowIDs maps the queried row indexes to their object ids (the step's
+// known-up-front read set), optionally appending extra ids to prefetch.
+func (v *Vacation) rowIDs(kind string, rows []int, extra ...proto.ObjectID) []proto.ObjectID {
+	ids := make([]proto.ObjectID, 0, len(rows)+len(extra))
+	for _, row := range rows {
+		ids = append(ids, v.item(kind, row))
+	}
+	return append(ids, extra...)
+}
+
 // queryStep reads the queried rows and computes the best offer (read-only).
 func (v *Vacation) queryStep(kind string, rows []int) core.Step {
 	return func(tx *core.Txn, _ core.State) error {
+		// The relation query's rows are chosen before the step runs — fetch
+		// them in one batched round; the per-row reads below resolve locally.
+		if err := tx.ReadAll(v.rowIDs(kind, rows)...); err != nil {
+			return err
+		}
 		best := int64(-1)
 		for _, row := range rows {
 			val, ok, err := readVal(tx, v.item(kind, row))
@@ -126,6 +141,11 @@ func (v *Vacation) queryStep(kind string, rows []int) core.Step {
 // the customer.
 func (v *Vacation) reserveStep(kind string, rows []int, cust int) core.Step {
 	return func(tx *core.Txn, _ core.State) error {
+		// Rows and customer are all known up front: one batched round covers
+		// the whole reservation's reads.
+		if err := tx.ReadAll(v.rowIDs(kind, rows, v.customer(cust))...); err != nil {
+			return err
+		}
 		bestRow := -1
 		var bestItem ReservationItem
 		for _, row := range rows {

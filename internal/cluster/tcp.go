@@ -219,6 +219,7 @@ type TCPTransport struct {
 
 	dialTimeout time.Duration
 	messages    atomic.Uint64
+	bytes       atomic.Uint64
 	calls       atomic.Uint64
 	failed      atomic.Uint64
 
@@ -283,13 +284,34 @@ func (t *TCPTransport) PeerCounts() (up, down int) {
 	return up, down
 }
 
-// Stats returns transport counters (mirrors MemTransport.Stats).
+// Stats returns transport counters (mirrors MemTransport.Stats). Bytes are
+// the real frame bytes this transport read and wrote on its connections —
+// gob stream preambles included — not an estimate.
 func (t *TCPTransport) Stats() Stats {
 	return Stats{
 		Messages: t.messages.Load(),
+		Bytes:    t.bytes.Load(),
 		Calls:    t.calls.Load(),
 		Failed:   t.failed.Load(),
 	}
+}
+
+// countingConn counts the bytes crossing a connection in either direction.
+type countingConn struct {
+	net.Conn
+	bytes *atomic.Uint64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.bytes.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.bytes.Add(uint64(n))
+	return n, err
 }
 
 func (t *TCPTransport) get(to proto.NodeID) (*tcpConn, error) {
@@ -311,7 +333,8 @@ func (t *TCPTransport) get(to proto.NodeID) (*tcpConn, error) {
 		// be restarting.
 		return nil, errors.Join(ErrNodeDown, ErrTransient, err)
 	}
-	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	cc := &countingConn{Conn: conn, bytes: &t.bytes}
+	return &tcpConn{conn: conn, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, nil
 }
 
 // put returns a connection to the pool, closing it instead when the pool is

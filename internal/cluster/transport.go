@@ -68,15 +68,23 @@ type Reply struct {
 // replies. The quorum protocols need every reply (reads pick the highest
 // version; commits need unanimity), so Multicast always waits for all legs.
 func Multicast(ctx context.Context, t Transport, from proto.NodeID, nodes []proto.NodeID, req any) []Reply {
+	return MulticastEach(ctx, t, from, nodes, func(proto.NodeID) any { return req })
+}
+
+// MulticastEach is Multicast with a per-destination request: build(n) is
+// called once per node before its leg is sent. Delta-validated batched reads
+// use it, since each quorum member has its own validation watermark and
+// therefore receives a different footprint suffix.
+func MulticastEach(ctx context.Context, t Transport, from proto.NodeID, nodes []proto.NodeID, build func(proto.NodeID) any) []Reply {
 	replies := make([]Reply, len(nodes))
 	var wg sync.WaitGroup
 	for i, n := range nodes {
 		wg.Add(1)
-		go func(i int, n proto.NodeID) {
+		go func(i int, n proto.NodeID, req any) {
 			defer wg.Done()
 			resp, err := t.Call(ctx, from, n, req)
 			replies[i] = Reply{Node: n, Resp: resp, Err: err}
-		}(i, n)
+		}(i, n, build(n))
 	}
 	wg.Wait()
 	return replies
@@ -175,6 +183,7 @@ func treeDepth(i int) int {
 // silently dropped. stats_test.go holds the conformance test.
 type Stats struct {
 	Messages uint64 // delivered requests and replies (one each; failed calls count one)
+	Bytes    uint64 // payload bytes moved (TCP: real frame bytes; Mem: proto.WireSize estimate)
 	Calls    uint64 // request/reply exchanges attempted
 	Failed   uint64 // calls that returned an error (ErrNodeDown, transient faults, cancellation)
 	Retries  uint64 // attempts re-issued by RetryTransport after a transient fault or timeout
@@ -190,6 +199,7 @@ type Stats struct {
 func (s Stats) merge(o Stats) Stats {
 	return Stats{
 		Messages:    s.Messages + o.Messages,
+		Bytes:       s.Bytes + o.Bytes,
 		Calls:       s.Calls + o.Calls,
 		Failed:      s.Failed + o.Failed,
 		Retries:     s.Retries + o.Retries,
@@ -224,6 +234,7 @@ type MemTransport struct {
 	senders  map[proto.NodeID]*sync.Mutex
 
 	messages atomic.Uint64
+	bytes    atomic.Uint64
 	calls    atomic.Uint64
 	failed   atomic.Uint64
 }
@@ -314,6 +325,7 @@ func (t *MemTransport) Down(id proto.NodeID) bool {
 func (t *MemTransport) Stats() Stats {
 	return Stats{
 		Messages: t.messages.Load(),
+		Bytes:    t.bytes.Load(),
 		Calls:    t.calls.Load(),
 		Failed:   t.failed.Load(),
 	}
@@ -323,6 +335,7 @@ func (t *MemTransport) Stats() Stats {
 // so that benchmark population traffic is not charged to the run).
 func (t *MemTransport) ResetStats() {
 	t.messages.Store(0)
+	t.bytes.Store(0)
 	t.calls.Store(0)
 	t.failed.Store(0)
 }
@@ -331,6 +344,7 @@ func (t *MemTransport) ResetStats() {
 func (t *MemTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
 	t.calls.Add(1)
 	t.messages.Add(1) // request leg
+	t.bytes.Add(uint64(proto.WireSize(req)))
 
 	// Sender-side transmission: one message at a time per sender.
 	if t.txTime > 0 {
@@ -385,6 +399,7 @@ func (t *MemTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 	}
 
 	t.messages.Add(1) // reply leg
+	t.bytes.Add(uint64(proto.WireSize(resp)))
 	if err := sleepCtx(ctx, t.latency.OneWay(to, from)); err != nil {
 		return nil, err
 	}

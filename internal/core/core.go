@@ -173,6 +173,12 @@ type Config struct {
 	// wait before the denial escalates into an abort. 0 (the default, the
 	// paper's policy) aborts immediately.
 	LockWaitRetries int
+	// LegacyReads disables batched reads and delta-Rqv: every read is its
+	// own single-object quorum round carrying the full accumulated
+	// footprint, the original per-read wire behavior. Kept for A/B
+	// measurement (the harness's batch experiment) — semantics are
+	// identical either way.
+	LegacyReads bool
 }
 
 // Runtime executes transactions for one node of the cluster. A Runtime is
@@ -190,6 +196,7 @@ type Runtime struct {
 	chkEvery    int
 	chkCost     time.Duration
 	lockWaits   int
+	legacyReads bool
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	maxRetries  int
@@ -220,6 +227,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		chkEvery:    cfg.CheckpointEvery,
 		chkCost:     cfg.CheckpointCost,
 		lockWaits:   cfg.LockWaitRetries,
+		legacyReads: cfg.LegacyReads,
 		backoffBase: cfg.BackoffBase,
 		backoffMax:  cfg.BackoffMax,
 		maxRetries:  cfg.MaxRetries,
@@ -301,17 +309,33 @@ func (rt *Runtime) WriteQuorumSize() int {
 
 // backoff sleeps a randomized exponential delay after a full abort.
 func (rt *Runtime) backoff(attempt int) {
-	if rt.backoffBase < 0 {
+	sleep := rt.backoffDelay(attempt, rand.Int64N)
+	if sleep <= 0 {
 		return
+	}
+	rt.obs.Observe(obs.SiteBackoff, int64(sleep))
+	time.Sleep(sleep)
+}
+
+// backoffDelay computes the randomized delay for one retry: an exponentially
+// grown, capped window sampled by randN, plus half the base so consecutive
+// retries never land at the same instant. The final value is capped at
+// BackoffMax again — the jitter floor must not push the sleep past the
+// configured maximum. Split from backoff so tests can pin randN.
+func (rt *Runtime) backoffDelay(attempt int, randN func(int64) int64) time.Duration {
+	if rt.backoffBase < 0 {
+		return 0
 	}
 	d := rt.backoffBase << uint(min(attempt, 12))
 	if d > rt.backoffMax {
 		d = rt.backoffMax
 	}
 	if d <= 0 {
-		return
+		return 0
 	}
-	sleep := time.Duration(rand.Int64N(int64(d))) + rt.backoffBase/2
-	rt.obs.Observe(obs.SiteBackoff, int64(sleep))
-	time.Sleep(sleep)
+	sleep := time.Duration(randN(int64(d))) + rt.backoffBase/2
+	if sleep > rt.backoffMax {
+		sleep = rt.backoffMax
+	}
+	return sleep
 }

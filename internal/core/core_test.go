@@ -25,6 +25,10 @@ type testCluster struct {
 	ids      *core.IDGen
 	mode     core.Mode
 	chkEvery int
+	// wrap, when set, decorates the transport runtimes call through
+	// (fault-injection variants); the raw MemTransport stays reachable via
+	// trans for crash control and stats.
+	wrap func(cluster.Transport) cluster.Transport
 
 	mu       sync.Mutex
 	runtimes map[proto.NodeID]*core.Runtime
@@ -56,9 +60,13 @@ func (tc *testCluster) runtime(n proto.NodeID) *core.Runtime {
 	if rt, ok := tc.runtimes[n]; ok {
 		return rt
 	}
+	trans := cluster.Transport(tc.trans)
+	if tc.wrap != nil {
+		trans = tc.wrap(trans)
+	}
 	rt, err := core.NewRuntime(core.Config{
 		Node:      n,
-		Transport: tc.trans,
+		Transport: trans,
 		Quorums: core.TreeQuorums{
 			Tree:  tc.tree,
 			Alive: func(id proto.NodeID) bool { return !tc.trans.Down(id) },

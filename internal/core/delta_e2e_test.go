@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"qrdtm/internal/core"
+	"qrdtm/internal/proto"
+)
+
+// TestQuorumRefreshResetsDeltaWatermarks reconfigures the quorums in the
+// middle of a transaction: the per-member validation watermarks belong to
+// the old view, so the next batched read must fall back to shipping the full
+// footprint to the (possibly brand-new) members — silently, with the
+// transaction still committing correctly.
+func TestQuorumRefreshResetsDeltaWatermarks(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2})
+	rt := tc.runtime(3)
+	mustAtomic(t, rt, func(tx *core.Txn) error {
+		if got := readInt(t, tx, "a"); got != 1 {
+			t.Fatalf("a = %d, want 1", got)
+		}
+		// Crash the quorum's root node and reconfigure: the new read quorum
+		// holds no validation session for this transaction.
+		tc.trans.Fail(0)
+		if err := rt.RefreshQuorums(); err != nil {
+			return err
+		}
+		if got := readInt(t, tx, "b"); got != 2 {
+			t.Fatalf("b = %d, want 2", got)
+		}
+		return tx.Write("b", proto.Int64(3))
+	})
+	if _, v := tc.committed("b"); v != 3 {
+		t.Fatalf("committed b = %d, want 3", v)
+	}
+}
+
+// TestCheckpointRollbackRewindsDeltaState forces a mid-transaction conflict
+// on an object acquired after the first checkpoint: validation names that
+// checkpoint's epoch, the engine partially rolls back (not a full restart),
+// and the re-run must re-read the conflicting object — which only works if
+// the rollback also rewound the footprint log, since a stale retained entry
+// would keep failing validation forever.
+func TestCheckpointRollbackRewindsDeltaState(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Checkpoint) // chkEvery = 1
+	tc.load(map[proto.ObjectID]int64{"x": 1, "y": 2, "z": 3})
+	rtA := tc.runtime(3)
+	rtB := tc.runtime(5)
+	before := tc.metrics.Snapshot()
+	var interfere sync.Once
+	steps := []core.Step{
+		func(tx *core.Txn, _ core.State) error {
+			readInt(t, tx, "x")
+			return nil
+		},
+		func(tx *core.Txn, _ core.State) error {
+			readInt(t, tx, "y") // acquired at checkpoint epoch 1
+			return nil
+		},
+		func(tx *core.Txn, _ core.State) error {
+			interfere.Do(func() {
+				mustAtomic(t, rtB, func(btx *core.Txn) error {
+					return btx.Write("y", proto.Int64(20))
+				})
+			})
+			sum := readInt(t, tx, "x") + readInt(t, tx, "y") + readInt(t, tx, "z")
+			return tx.Write("out", proto.Int64(sum))
+		},
+	}
+	if _, err := rtA.AtomicSteps(context.Background(), core.NoState{}, steps); err != nil {
+		t.Fatalf("AtomicSteps: %v", err)
+	}
+	snap := tc.metrics.Snapshot().Sub(before)
+	if snap.ChkRollbacks == 0 {
+		t.Fatal("conflict on a post-checkpoint read must partially roll back, not restart")
+	}
+	if _, out := tc.committed("out"); out != 1+20+3 {
+		t.Fatalf("out = %d, want 24 (the rollback re-run must observe y = 20)", out)
+	}
+}
+
+// TestMergedEntryConflictRoutesToRoot is the regression test for the CT
+// merge watermark bug. Child 1 performs TWO sequential batched reads: the
+// second round ships the first round's entry at the child's depth and
+// advances the member watermarks past it, so replica sessions record "a"
+// owned at depth 1. Child 1 then commits and merges into the root — "a" is
+// now root-owned, but (before the fix) the sessions were never told. A
+// competitor overwrites "a"; child 2's next batched read re-validates the
+// whole session and the denial must route to the ROOT, the entry's current
+// owner. Before fpReown clamped member watermarks back to the merge mark,
+// the denial named the merged-away child depth, child 2 aborted and retried
+// forever (aborting child 2 can never clear a root-owned conflict), and the
+// engine livelocked.
+func TestMergedEntryConflictRoutesToRoot(t *testing.T) {
+	tc := newTestCluster(t, 13, core.Closed)
+	tc.load(map[proto.ObjectID]int64{"a": 1, "b": 2, "c": 3})
+	rtA := tc.runtime(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var interfere sync.Once
+	attempts := 0
+	err := rtA.Atomic(ctx, func(tx *core.Txn) error {
+		attempts++
+		if err := tx.Nested(func(child *core.Txn) error {
+			if err := child.ReadAll("a"); err != nil {
+				return err
+			}
+			// Second round: ships a@depth1 into the sessions and moves the
+			// watermarks past it.
+			return child.ReadAll("b")
+		}); err != nil {
+			return err
+		}
+		// Install a newer committed "a" on EVERY replica: whichever members
+		// child 2's read quorum picks, they all hold both the new version
+		// and (those that served child 1) a session with the stale entry —
+		// the denial is deterministic, not quorum-luck.
+		interfere.Do(func() {
+			for _, r := range tc.replicas {
+				r.Store().Load([]proto.ObjectCopy{{ID: "a", Version: 2, Val: proto.Int64(10)}})
+			}
+		})
+		if err := tx.Nested(func(child *core.Txn) error {
+			return child.ReadAll("c")
+		}); err != nil {
+			return err
+		}
+		sum := readInt(t, tx, "a") + readInt(t, tx, "b") + readInt(t, tx, "c")
+		return tx.Write("out", proto.Int64(sum))
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v (a livelocked child abort loop ends in ctx timeout)", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want a root retry (the conflict is root-owned)", attempts)
+	}
+	if _, out := tc.committed("out"); out != 15 {
+		t.Fatalf("out = %d, want 15 (the retry must observe a = 10)", out)
+	}
+}
+
+// TestContendedIncrementsBatchedPath hammers one counter from many clients
+// through the batched read path: every lost update would surface in the
+// final value. Root retries allocate a fresh transaction id per attempt, so
+// this also exercises stale replica sessions being left behind by aborted
+// attempts without polluting their successors.
+func TestContendedIncrementsBatchedPath(t *testing.T) {
+	for _, mode := range []core.Mode{core.FlatRqv, core.Closed, core.Checkpoint} {
+		t.Run(mode.String(), func(t *testing.T) {
+			tc := newTestCluster(t, 13, mode)
+			tc.load(map[proto.ObjectID]int64{"n": 0, "aux": 0})
+			const clients, perClient = 6, 5
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rt := tc.runtime(proto.NodeID(c % 13))
+					for i := 0; i < perClient; i++ {
+						mustAtomic(t, rt, func(tx *core.Txn) error {
+							if err := tx.ReadAll("n", "aux"); err != nil {
+								return err
+							}
+							v := readInt(t, tx, "n")
+							return tx.Write("n", proto.Int64(v+1))
+						})
+					}
+				}(c)
+			}
+			wg.Wait()
+			if _, v := tc.committed("n"); v != clients*perClient {
+				t.Fatalf("n = %d, want %d (lost update)", v, clients*perClient)
+			}
+		})
+	}
+}

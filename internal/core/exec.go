@@ -198,6 +198,7 @@ func (tx *Txn) Nested(body func(*Txn) error) error {
 		if tx.rt.maxRetries > 0 && attempt >= tx.rt.maxRetries {
 			return ErrTooManyRetries
 		}
+		child.fpMark = len(tx.root().fpLog)
 		csp := tx.rt.obs.StartSpan(proto.SpanCT, tx.rt.node, tx.tc)
 		csp.SetTxn(tx.id)
 		csp.SetDepth(child.depth)
@@ -220,6 +221,9 @@ func (tx *Txn) Nested(body func(*Txn) error) error {
 		}
 		tx.rt.metrics.CTAborts.Add(1)
 		child.reset()
+		// The aborted attempt's acquisitions leave the footprint; the next
+		// delta request's reconciliation drops them from replica sessions.
+		child.fpRewind(child.fpMark)
 		// Partial aborts retry immediately, as in the paper — there the
 		// ~30 ms quorum round trip paces the retry naturally. On a
 		// fast/simulated network an unpaced spin can livelock against a
@@ -271,6 +275,7 @@ func (ct *Txn) mergeToParent() {
 		p.writeset[id] = e
 		delete(p.readset, id)
 	}
+	ct.fpReown(ct.fpMark, p.depth)
 }
 
 // commitRoot commits a root transaction: read-only transactions under Rqv
@@ -489,6 +494,11 @@ type chkpoint struct {
 	state    State
 	readset  map[proto.ObjectID]*entry
 	writeset map[proto.ObjectID]*entry
+	// fpLen is the footprint-log length at checkpoint creation; rolling back
+	// rewinds the delta-Rqv log (and member watermarks) to it so discarded
+	// acquisitions stop being shipped — the next delta round's reconciliation
+	// drops them from replica sessions too.
+	fpLen int
 }
 
 func snapshotSets(src map[proto.ObjectID]*entry) map[proto.ObjectID]*entry {
@@ -511,13 +521,15 @@ func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps 
 		if rt.maxRetries > 0 && attempt >= rt.maxRetries {
 			return nil, ErrTooManyRetries
 		}
-		st, aborted, err := rt.checkpointedAttempt(ctx, initial, steps, rsp.Context())
+		st, id, aborted, err := rt.checkpointedAttempt(ctx, initial, steps, rsp.Context())
 		if err != nil {
 			return nil, err
 		}
 		if !aborted {
 			rt.metrics.Commits.Add(1)
 			rt.obs.ObserveSince(obs.SiteTxnLatency, t0)
+			rt.obs.Trace(obs.Event{Kind: obs.EvCommit, Txn: uint64(id)})
+			rsp.SetTxn(id)
 			rsp.SetOK(true)
 			return st, nil
 		}
@@ -527,9 +539,12 @@ func (rt *Runtime) atomicCheckpointed(ctx context.Context, initial State, steps 
 }
 
 // checkpointedAttempt runs one full attempt with partial rollbacks handled
-// internally; aborted reports a commit-time conflict (full restart).
-func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps []Step, rtc proto.TraceContext) (st State, aborted bool, err error) {
+// internally; aborted reports a commit-time conflict (full restart). The
+// attempt's transaction id is returned so the caller can stamp the commit
+// trace event and root span exactly like Atomic does.
+func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps []Step, rtc proto.TraceContext) (st State, id proto.TxnID, aborted bool, err error) {
 	tx := newRootTxn(rt, ctx)
+	id = tx.id
 	asp := rt.obs.StartSpan(proto.SpanAttempt, rt.node, rtc)
 	asp.SetTxn(tx.id)
 	defer asp.End()
@@ -542,13 +557,14 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 		state:    st.CloneState(),
 		readset:  map[proto.ObjectID]*entry{},
 		writeset: map[proto.ObjectID]*entry{},
+		fpLen:    0,
 	}}
 
 	i := 0
 	rollbacks := 0
 	for i < len(steps) {
 		if err := ctx.Err(); err != nil {
-			return nil, false, err
+			return nil, id, false, err
 		}
 		if i > 0 && (tx.footprint >= rt.chkEvery || tx.chkRequested) {
 			tx.chkRequested = false
@@ -557,6 +573,7 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 				state:    st.CloneState(),
 				readset:  snapshotSets(tx.readset),
 				writeset: snapshotSets(tx.writeset),
+				fpLen:    len(tx.fpLog),
 			})
 			tx.chkEpoch++
 			tx.footprint = 0
@@ -577,11 +594,11 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 		}
 		stepAborted, chk, stepErr := runStepRecover(tx, st, steps[i])
 		if stepErr != nil {
-			return nil, false, stepErr
+			return nil, id, false, stepErr
 		}
 		if stepAborted {
 			if chk == proto.NoChk {
-				return nil, true, nil // full abort requested mid-execution
+				return nil, id, true, nil // full abort requested mid-execution
 			}
 			// Partial rollback: restore the named checkpoint and resume.
 			// Like CT retries, rollbacks are immediate until they become
@@ -605,6 +622,7 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 			cps = cps[:chk+1]
 			tx.readset = snapshotSets(cp.readset)
 			tx.writeset = snapshotSets(cp.writeset)
+			tx.fpRewind(cp.fpLen)
 			tx.chkEpoch = chk
 			tx.footprint = 0
 			st = cp.state.CloneState()
@@ -621,13 +639,13 @@ func (rt *Runtime) checkpointedAttempt(ctx context.Context, initial State, steps
 		commitErr = tx.commitRoot()
 	}()
 	if commitErr != nil {
-		return nil, false, commitErr
+		return nil, id, false, commitErr
 	}
 	if aborted {
-		return nil, true, nil
+		return nil, id, true, nil
 	}
 	asp.SetOK(true)
-	return st, false, nil
+	return st, id, false, nil
 }
 
 // runStepRecover executes one step, converting abort signals into

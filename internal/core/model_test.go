@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
 	"qrdtm/internal/proto"
 )
@@ -105,6 +107,130 @@ func TestEngineMatchesModelSingleClient(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineMatchesModelBatchedReads drives the batched multi-object read
+// path (Txn.ReadAll) and the delta-Rqv wire protocol through the same
+// map-model oracle in all four modes: every transaction prefetches a random
+// object set in one batched round, then reads and writes through it, and
+// committed state must track the model exactly.
+func TestEngineMatchesModelBatchedReads(t *testing.T) {
+	testBatchedReadsModel(t, nil)
+}
+
+// TestEngineMatchesModelBatchedReadsFaulty is the seeded-fault variant:
+// requests are dropped and duplicated at the message level (FaultTransport)
+// with a RetryTransport masking the losses, so delta sessions see redelivery
+// and retries; the model must still be matched exactly.
+func TestEngineMatchesModelBatchedReadsFaulty(t *testing.T) {
+	testBatchedReadsModel(t, func(inner cluster.Transport) cluster.Transport {
+		ft := cluster.NewFaultTransport(inner, 0xFA17)
+		ft.SetDropRate(0.04)
+		ft.SetDuplicateRate(0.04)
+		return cluster.NewRetryTransport(ft, cluster.RetryPolicy{
+			MaxAttempts: 10,
+			BackoffBase: 100 * time.Microsecond,
+			BackoffMax:  time.Millisecond,
+		})
+	})
+}
+
+func testBatchedReadsModel(t *testing.T, wrap func(cluster.Transport) cluster.Transport) {
+	type opcode struct {
+		Objs   [3]uint8 // prefetched (and then read) object set
+		Kind   uint8    // 0: read-only scan, 1: write one, 2: read-modify-write
+		Val    int16
+		Nested bool
+	}
+	prop := func(modeRaw uint8, ops []opcode) bool {
+		mode := []core.Mode{core.Flat, core.FlatRqv, core.Closed, core.Checkpoint}[modeRaw%4]
+		tc := newTestCluster(t, 13, mode)
+		tc.wrap = wrap
+		model := map[proto.ObjectID]int64{}
+		seed := map[proto.ObjectID]int64{"o0": 5, "o1": 6, "o2": 7}
+		for k, v := range seed {
+			model[k] = v
+		}
+		tc.load(seed)
+
+		objID := func(i uint8) proto.ObjectID { return proto.ObjectID(fmt.Sprintf("o%d", i%6)) }
+		rt := tc.runtime(3)
+		for _, op := range ops {
+			ids := []proto.ObjectID{objID(op.Objs[0]), objID(op.Objs[1]), objID(op.Objs[2])}
+			target := ids[int(op.Kind)%len(ids)]
+			val := int64(op.Val)
+			got := map[proto.ObjectID]int64{}
+			err := rt.Atomic(context.Background(), func(tx *core.Txn) error {
+				clear(got)
+				body := func(txx *core.Txn) error {
+					if err := txx.ReadAll(ids...); err != nil {
+						return err
+					}
+					for _, id := range ids {
+						v, err := txx.Read(id) // resolves locally: prefetched above
+						if err != nil {
+							return err
+						}
+						if v != nil {
+							got[id] = int64(v.(proto.Int64))
+						} else {
+							got[id] = -1
+						}
+					}
+					switch op.Kind % 3 {
+					case 0:
+						return nil
+					case 1:
+						return txx.Write(target, proto.Int64(val))
+					default:
+						return txx.Write(target, proto.Int64(got[target]+val))
+					}
+				}
+				if op.Nested {
+					return tx.Nested(body)
+				}
+				return body(tx)
+			})
+			if err != nil {
+				t.Logf("atomic: %v", err)
+				return false
+			}
+			for _, id := range ids {
+				want := int64(-1)
+				if v, ok := model[id]; ok {
+					want = v
+				}
+				if got[id] != want {
+					t.Logf("%v batched read %v = %d, model %d", mode, id, got[id], want)
+					return false
+				}
+			}
+			switch op.Kind % 3 {
+			case 1:
+				model[target] = val
+			case 2:
+				cur := int64(-1)
+				if v, ok := model[target]; ok {
+					cur = v
+				}
+				model[target] = cur + val
+			}
+		}
+		for obj, want := range model {
+			if _, got := tc.committed(obj); got != want {
+				t.Logf("%v final %v = %d, model %d", mode, obj, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if wrap != nil {
+		cfg.MaxCount = 16 // fault masking makes each case ~10x slower
+	}
+	if err := quick.Check(prop, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

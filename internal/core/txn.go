@@ -100,6 +100,21 @@ type Txn struct {
 	footprint    int  // objects acquired since the last checkpoint
 	chkRequested bool // RequestCheckpoint was called during the current step
 
+	// Delta-Rqv support (root transactions; children reach it via root()).
+	// fpLog is the append-only footprint log in acquisition order — the same
+	// set dataSet() computes, but with a stable offset per entry so each
+	// quorum member's validated prefix can be named by a single integer.
+	// wm maps each read-quorum member to its watermark: how many log entries
+	// that member's validation session already holds. Watermarks belong to
+	// one quorum view (wmEpoch); a refresh invalidates them all.
+	fpLog   []proto.DataItem
+	wm      map[proto.NodeID]int
+	wmEpoch uint64
+	// fpMark is the root log length when this closed-nested attempt started
+	// (children only): the suffix to discard on a partial abort, or to
+	// re-own on merge.
+	fpMark int
+
 	// Open-nesting support (root transactions only).
 	openCommits   []openRecord // committed open subtransactions of this attempt
 	holdsAbsLocks bool         // abstract locks held on this root's behalf
@@ -112,6 +127,68 @@ func newRootTxn(rt *Runtime, ctx context.Context) *Txn {
 		id:       rt.ids.Next(),
 		readset:  make(map[proto.ObjectID]*entry),
 		writeset: make(map[proto.ObjectID]*entry),
+		wm:       make(map[proto.NodeID]int),
+		wmEpoch:  rt.ViewEpoch(),
+	}
+}
+
+// root walks up to the root transaction, which owns the footprint log and
+// the per-member watermarks shared by the whole nesting tree.
+func (tx *Txn) root() *Txn {
+	t := tx
+	for t.parent != nil {
+		t = t.parent
+	}
+	return t
+}
+
+// fpAppend records one acquisition in the root's footprint log.
+func (tx *Txn) fpAppend(e *entry) {
+	r := tx.root()
+	r.fpLog = append(r.fpLog, proto.DataItem{
+		ID:         e.copyv.ID,
+		Version:    e.copyv.Version,
+		OwnerDepth: e.ownerDepth,
+		OwnerChk:   e.ownerChk,
+	})
+}
+
+// fpRewind discards the log suffix acquired after mark (a partial abort or
+// checkpoint rollback un-acquired those objects) and clamps every member
+// watermark accordingly: entries past mark may still sit in replica
+// sessions, but the next request's truncate-and-append reconciliation
+// removes them before anything is validated.
+func (tx *Txn) fpRewind(mark int) {
+	r := tx.root()
+	if mark >= len(r.fpLog) {
+		return
+	}
+	r.fpLog = r.fpLog[:mark]
+	for n, w := range r.wm {
+		if w > mark {
+			r.wm[n] = mark
+		}
+	}
+}
+
+// fpReown rewrites the owner depth of log entries acquired after mark to
+// depth — the log mirror of mergeToParent's re-owning — and clamps member
+// watermarks back to mark so the re-owned suffix is re-shipped. The clamp
+// is load-bearing: a replica session that still holds the child's old
+// (deeper) depth routes a later version conflict at a subtransaction that
+// no longer owns the entry, and aborting that subtransaction can never
+// clear the conflict — the abort loops forever. routeAbort's clamp only
+// repairs targets deeper than the requester, not targets that merged
+// shallower.
+func (tx *Txn) fpReown(mark, depth int) {
+	r := tx.root()
+	for i := mark; i < len(r.fpLog); i++ {
+		r.fpLog[i].OwnerDepth = depth
+	}
+	for n, w := range r.wm {
+		if w > mark {
+			r.wm[n] = mark
+		}
 	}
 }
 
@@ -233,6 +310,8 @@ func (tx *Txn) Write(id proto.ObjectID, val proto.Value) error {
 	if e, ok := tx.lookup(id); ok {
 		// An ancestor holds the object: buffer the write privately at this
 		// level; the merge on subtransaction commit propagates it upward.
+		// Not logged for delta-Rqv: the footprint dedup always resolves this
+		// object to the ancestor's shallower, earlier-epoch entry anyway.
 		ne := &entry{
 			copyv:      proto.ObjectCopy{ID: id, Version: e.copyv.Version, Val: cloneVal(val)},
 			ownerDepth: tx.depth,
@@ -241,7 +320,7 @@ func (tx *Txn) Write(id proto.ObjectID, val proto.Value) error {
 		tx.writeset[id] = ne
 		return nil
 	}
-	e, err := tx.acquireRemote(id, true)
+	e, err := tx.acquireOne(id, true)
 	if err != nil {
 		return err
 	}
@@ -258,11 +337,13 @@ func (tx *Txn) Write(id proto.ObjectID, val proto.Value) error {
 // transaction can never commit — allocate a new ID per attempt, or use
 // Write, which fetches the current version first.
 func (tx *Txn) Create(id proto.ObjectID, val proto.Value) {
-	tx.writeset[id] = &entry{
+	e := &entry{
 		copyv:      proto.ObjectCopy{ID: id, Version: 0, Val: cloneVal(val)},
 		ownerDepth: tx.depth,
 		ownerChk:   tx.ownerChkNow(),
 	}
+	tx.writeset[id] = e
+	tx.fpAppend(e)
 	tx.noteAcquisition()
 }
 
@@ -280,7 +361,60 @@ func (tx *Txn) acquire(id proto.ObjectID, write bool) (*entry, error) {
 		tx.rt.metrics.LocalReads.Add(1)
 		return e, nil
 	}
-	return tx.acquireRemote(id, write)
+	return tx.acquireOne(id, write)
+}
+
+// acquireOne fetches a single unheld object: over the batched/delta path by
+// default (a one-object batch — same single quorum round, but the footprint
+// ships incrementally), or over the classic full-footprint ReadReq when the
+// runtime is configured with LegacyReads.
+func (tx *Txn) acquireOne(id proto.ObjectID, write bool) (*entry, error) {
+	if tx.rt.legacyReads {
+		return tx.acquireRemote(id, write)
+	}
+	if err := tx.acquireBatch([]proto.ObjectID{id}, write); err != nil {
+		return nil, err
+	}
+	if write {
+		return tx.writeset[id], nil
+	}
+	return tx.readset[id], nil
+}
+
+// ReadAll ensures every listed object is in the transaction's footprint,
+// fetching all still-unheld ones from the read quorum in a single batched
+// round instead of one round per object. It is the prefetch entry point for
+// workloads that know (part of) their read set up front — bucket heads of a
+// hash map scan, the rows of a reservation — and it is semantically
+// identical to reading each object individually: the same Rqv validation
+// guards the round, and subsequent Read/Write calls hit the footprint
+// locally. Unknown objects are fetched as version 0 and read as nil, exactly
+// as with Read.
+func (tx *Txn) ReadAll(ids ...proto.ObjectID) error {
+	missing := make([]proto.ObjectID, 0, len(ids))
+	seen := make(map[proto.ObjectID]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			continue
+		}
+		seen[id] = struct{}{}
+		if _, held := tx.lookup(id); held {
+			continue
+		}
+		missing = append(missing, id)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if tx.rt.legacyReads {
+		for _, id := range missing {
+			if _, err := tx.acquireRemote(id, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return tx.acquireBatch(missing, false)
 }
 
 // acquireRemote performs the remote read of Algorithm 2: multicast to the
@@ -421,8 +555,203 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 		} else {
 			tx.readset[id] = e
 		}
+		tx.fpAppend(e)
 		tx.noteAcquisition()
 		return e, nil
+	}
+}
+
+// acquireBatch performs one read-quorum round for a set of unheld objects
+// with incremental Rqv: each quorum member receives only the footprint log
+// suffix past its own watermark, validates its whole reconciled session, and
+// returns all requested copies. The highest version across the quorum wins
+// per object, as in acquireRemote. Denials route aborts exactly like the
+// single-object path; NeedFull replies (the replica lost its session) reset
+// that member's watermark and retry the round with the full footprint.
+func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
+	root := tx.root()
+	rqv := tx.rt.mode.Rqv()
+
+	const quorumRetries = 3
+	lockWaits := 0
+	resyncs := 0
+	for attempt := 0; ; attempt++ {
+		if err := tx.ctx.Err(); err != nil {
+			return err
+		}
+		readQ, _ := tx.rt.quorums()
+		if len(readQ) == 0 {
+			return ErrUnavailable
+		}
+		// Watermarks describe sessions on the members of one quorum view; a
+		// reconfiguration may have replaced members, so start over. (Stale
+		// watermarks would also self-heal via NeedFull, but only for members
+		// that restarted — a *new* member with no session accepts From=0
+		// only.)
+		if epoch := tx.rt.ViewEpoch(); epoch != root.wmEpoch {
+			clear(root.wm)
+			root.wmEpoch = epoch
+		}
+		tx.rt.metrics.ReadRequests.Add(1)
+		tx.rt.obs.Observe(obs.SiteBatchSize, int64(len(ids)))
+		sp := tx.rt.obs.StartSpan(proto.SpanRead, tx.rt.node, tx.tc)
+		sp.SetTxn(tx.id)
+		if len(ids) == 1 {
+			sp.SetObj(ids[0])
+		}
+		sp.SetDepth(tx.depth)
+		sp.SetChk(tx.ownerChkNow())
+		logLen := len(root.fpLog)
+		base := proto.BatchReadReq{
+			Txn:   tx.id,
+			Objs:  ids,
+			Write: write,
+			Depth: tx.depth,
+			Rqv:   rqv,
+			TC:    sp.Context(),
+		}
+		deltaMax := 0
+		t0 := tx.rt.obs.Start()
+		replies := cluster.MulticastEach(tx.ctx, tx.rt.trans, tx.rt.node, readQ, func(n proto.NodeID) any {
+			req := base
+			if rqv {
+				from := root.wm[n]
+				if from > logLen {
+					from = logLen // rewound past this member's watermark; clamp defensively
+				}
+				req.From = from
+				// The three-index slice caps the view at logLen, so later
+				// appends to the log can never leak into an in-flight frame.
+				req.Delta = root.fpLog[from:logLen:logLen]
+				if d := logLen - from; d > deltaMax {
+					deltaMax = d
+				}
+			}
+			return req
+		})
+		tx.rt.obs.ObserveSince(obs.SiteReadRTT, t0)
+
+		best := make(map[proto.ObjectID]proto.ObjectCopy, len(ids))
+		abortDepth, abortChk := proto.NoDepth, proto.NoChk
+		denied := false
+		needFull := false
+		lockOnly := true
+		var callErr error
+		for _, rep := range replies {
+			if rep.Err != nil {
+				if isCtxErr(rep.Err) && tx.ctx.Err() != nil {
+					sp.End()
+					return tx.ctx.Err()
+				}
+				callErr = rep.Err
+				continue
+			}
+			rr, ok := rep.Resp.(proto.BatchReadRep)
+			if !ok {
+				sp.End()
+				return fmt.Errorf("core: unexpected batch read reply %T from %v", rep.Resp, rep.Node)
+			}
+			if rr.NeedFull {
+				needFull = true
+				delete(root.wm, rep.Node)
+				continue
+			}
+			if !rr.OK {
+				denied = true
+				if !rr.LockOnly {
+					lockOnly = false
+				}
+				if abortDepth == proto.NoDepth || (rr.AbortDepth != proto.NoDepth && rr.AbortDepth < abortDepth) {
+					abortDepth = rr.AbortDepth
+				}
+				if rr.AbortChk != proto.NoChk && (abortChk == proto.NoChk || rr.AbortChk < abortChk) {
+					abortChk = rr.AbortChk
+				}
+				continue
+			}
+			if rqv {
+				// This member's session now holds (and has validated) the
+				// log prefix we shipped.
+				root.wm[rep.Node] = logLen
+			}
+			for _, c := range rr.Copies {
+				if b, held := best[c.ID]; !held || c.Version >= b.Version {
+					best[c.ID] = c
+				}
+			}
+		}
+
+		if denied {
+			if lockOnly && lockWaits < tx.rt.lockWaits {
+				lockWaits++
+				tx.rt.metrics.LockWaits.Add(1)
+				sp.SetNote("lock-wait")
+				sp.End()
+				if err := sleepCtx(tx.ctx, time.Duration(lockWaits)*time.Millisecond); err != nil {
+					return err
+				}
+				continue
+			}
+			cause := obs.CauseReadValidation
+			if lockOnly {
+				cause = obs.CauseLockDenied
+			}
+			sp.End()
+			var obj proto.ObjectID
+			if len(ids) == 1 {
+				obj = ids[0]
+			}
+			tx.routeAbort(abortDepth, abortChk, cause, obj, base.TC)
+		}
+		if callErr != nil {
+			sp.SetNote("node-down")
+			sp.End()
+			tx.rt.metrics.QuorumRefreshes.Add(1)
+			if err := tx.rt.RefreshQuorums(); err != nil {
+				return err
+			}
+			if attempt+1 >= quorumRetries {
+				return fmt.Errorf("%w: batched read of %d objects kept failing: %v", ErrUnavailable, len(ids), callErr)
+			}
+			continue
+		}
+		if needFull {
+			// A session was evicted or the replica restarted. The watermark
+			// reset above makes the very next round ship the full footprint
+			// (From 0), which a replica can never refuse, so one retry per
+			// resync suffices.
+			sp.SetNote("need-full")
+			sp.End()
+			if resyncs++; resyncs > quorumRetries {
+				return fmt.Errorf("%w: batched read kept resyncing validation sessions", ErrUnavailable)
+			}
+			continue
+		}
+
+		sp.SetNote(fmt.Sprintf("batch=%d delta=%d", len(ids), deltaMax))
+		for _, id := range ids {
+			c := best[id]
+			c.ID = id // unknown objects come back zero-valued; keep the ID
+			sp.AddItem(id, c.Version)
+			e := &entry{
+				copyv:      c,
+				ownerDepth: tx.depth,
+				ownerChk:   tx.ownerChkNow(),
+			}
+			if write {
+				tx.writeset[id] = e
+			} else {
+				tx.readset[id] = e
+			}
+			tx.fpAppend(e)
+			tx.noteAcquisition()
+		}
+		if len(ids) == 1 {
+			sp.SetVersion(best[ids[0]].Version)
+		}
+		sp.SetOK(true)
+		sp.End()
+		return nil
 	}
 }
 

@@ -51,6 +51,11 @@ type Config struct {
 	// LockWaitRetries is the read-denial contention-manager policy
 	// (default 0: abort immediately, as in the paper).
 	LockWaitRetries int
+	// LegacyReads reverts the cell to per-object read rounds carrying the
+	// full accumulated footprint (the pre-batching wire behavior). The
+	// batch experiment runs each workload both ways to price the batched
+	// delta-Rqv path.
+	LegacyReads bool
 	// SpreadReads gives each client node a failure-adaptive spread read
 	// quorum (quorum.ReadQuorumSpread) instead of the canonical one.
 	SpreadReads bool
@@ -197,6 +202,14 @@ func (r Result) MsgsPerCommit() float64 {
 	return float64(r.Transport.Messages) / float64(r.Commits)
 }
 
+// BytesPerCommit is transport payload bytes per committed transaction.
+func (r Result) BytesPerCommit() float64 {
+	if r.Commits == 0 {
+		return 0
+	}
+	return float64(r.Transport.Bytes) / float64(r.Commits)
+}
+
 // Run executes one experiment cell.
 func Run(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
@@ -242,6 +255,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		CheckpointEvery: cfg.CheckpointEvery,
 		CheckpointCost:  cfg.CheckpointCost,
 		LockWaitRetries: cfg.LockWaitRetries,
+		LegacyReads:     cfg.LegacyReads,
 		MaxRetries:      1_000_000,
 		// Full-abort retries back off at commit-window scale, mirroring
 		// the paper's testbed where a retry inherently costs a ~30 ms

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -57,8 +58,19 @@ func TestFaultTraceAudit(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment smoke test")
 	}
+	// 3 iterations keep the default suite fast; FAULT_AUDIT_ITERS=100
+	// reproduces the full recorded audit (the release gate for protocol
+	// changes such as the batched delta-Rqv read path).
+	iters := 3
+	if v := os.Getenv("FAULT_AUDIT_ITERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("FAULT_AUDIT_ITERS=%q: want a positive integer", v)
+		}
+		iters = n
+	}
 	s := QuickScale()
-	table, err := faultTraceAudit(context.Background(), s, 3)
+	table, err := faultTraceAudit(context.Background(), s, iters)
 	if err != nil {
 		t.Fatal(err)
 	}

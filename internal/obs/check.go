@@ -363,20 +363,29 @@ func checkReadConsistency(res *CheckResult, sets map[uint64]*traceSet, complete 
 	for obj, evs := range commits {
 		idx[obj] = newPrefixMax(evs)
 	}
-	for _, s := range complete {
-		if s.Kind != proto.SpanRead || !s.OK || s.Obj == "" {
-			continue
-		}
-		pm, ok := idx[s.Obj]
+	check := func(s proto.Span, obj proto.ObjectID, version proto.Version) {
+		pm, ok := idx[obj]
 		if !ok {
-			continue
+			return
 		}
-		if vmax, ev, found := pm.before(s.Start); found && s.Version < vmax {
+		if vmax, ev, found := pm.before(s.Start); found && version < vmax {
 			ts := sets[s.Trace]
 			detail := fmt.Sprintf(
 				"read of %s returned v%d but v%d was committed before the read began (commit span %016x, txn %v)",
-				s.Obj, uint64(s.Version), uint64(vmax), ev.span.ID, ev.span.Txn)
+				obj, uint64(version), uint64(vmax), ev.span.ID, ev.span.Txn)
 			res.add(ts, "read-consistency", s, detail)
+		}
+	}
+	for _, s := range complete {
+		if s.Kind != proto.SpanRead || !s.OK {
+			continue
+		}
+		if s.Obj != "" {
+			check(s, s.Obj, s.Version)
+		}
+		// Batched reads record every fetched (object, version) as span items.
+		for _, it := range s.Items {
+			check(s, it.Obj, it.Version)
 		}
 	}
 }
@@ -398,6 +407,18 @@ func checkMonotoneVersions(res *CheckResult, sets map[uint64]*traceSet, complete
 				events[k] = append(events[k], verEvent{
 					start: s.Start, end: s.End, version: s.Version, span: s, trace: s.Trace,
 				})
+			}
+			if s.OK {
+				// Batched serve-reads record each served copy as a span item.
+				for _, it := range s.Items {
+					if it.Obj == s.Obj {
+						continue // already recorded via the Obj field
+					}
+					k := key{s.Node, it.Obj}
+					events[k] = append(events[k], verEvent{
+						start: s.Start, end: s.End, version: it.Version, span: s, trace: s.Trace,
+					})
+				}
 			}
 		case proto.SpanServeDecide:
 			if s.OK {

@@ -16,7 +16,7 @@ import (
 // Dimensionless reports whether the site records raw values rather than
 // durations; its Prometheus histogram is emitted unscaled and without the
 // _seconds unit suffix.
-func (s Site) Dimensionless() bool { return s == SiteRollbackDepth }
+func (s Site) Dimensionless() bool { return s == SiteRollbackDepth || s == SiteBatchSize }
 
 // promName converts a site name ("read_rtt") into its Prometheus metric
 // family name ("qrdtm_read_rtt_seconds"); dimensionless sites keep raw

@@ -30,6 +30,9 @@ const (
 	SiteServeRead
 	// SiteServePrepare is the replica-side service time of a prepare.
 	SiteServePrepare
+	// SiteBatchSize is the number of objects fetched per batched read-quorum
+	// round (dimensionless; 1 = a plain single-object read).
+	SiteBatchSize
 
 	numSites
 )
@@ -43,6 +46,7 @@ var siteNames = [numSites]string{
 	SiteRollbackDepth: "rollback_depth",
 	SiteServeRead:     "serve_read",
 	SiteServePrepare:  "serve_prepare",
+	SiteBatchSize:     "batch_size",
 }
 
 // String implements fmt.Stringer.
@@ -56,7 +60,7 @@ func (s Site) String() string {
 // Sites lists all instrumented sites in presentation order.
 var Sites = []Site{
 	SiteReadRTT, SiteCommitRTT, SiteTxnLatency, SiteBackoff,
-	SiteRollbackDepth, SiteServeRead, SiteServePrepare,
+	SiteRollbackDepth, SiteServeRead, SiteServePrepare, SiteBatchSize,
 }
 
 // AbortCause classifies why a transaction (or subtransaction) attempt was

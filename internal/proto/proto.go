@@ -104,6 +104,45 @@ type ReadRep struct {
 	LockOnly bool
 }
 
+// BatchReadReq is the multi-object, delta-validated generalisation of
+// ReadReq: it asks a read-quorum node for its copies of every object in Objs
+// in one round, and — when Rqv is set — carries only the *suffix* of the
+// requester's footprint this replica has not validated yet. The replica
+// keeps a per-transaction validation session (the footprint entries it has
+// accepted so far, in log order); From is the requester's watermark for this
+// replica — the length of the session prefix both sides agree on — and Delta
+// holds the footprint log entries starting at offset From. The replica
+// reconciles by truncating its session to From and appending Delta, then
+// validates the *entire* session, so a positive reply means the whole
+// accumulated footprint is still valid — exactly the guarantee the
+// full-footprint ReadReq gives, at O(delta) instead of O(footprint) bytes.
+type BatchReadReq struct {
+	Txn   TxnID
+	Objs  []ObjectID
+	Write bool
+	Depth int // nesting depth of the requester; 0 means root (PR/PW recording, as in ReadReq)
+	// Rqv requests validation. It is explicit (rather than Delta != nil as
+	// in ReadReq) because gob does not preserve nil-vs-empty for slices.
+	Rqv   bool
+	From  int          // validation watermark: footprint log entries [0, From) were already shipped to this replica
+	Delta []DataItem   // footprint log entries [From, From+len(Delta))
+	TC    TraceContext // causal trace context (zero when tracing is off)
+}
+
+// BatchReadRep answers BatchReadReq. If OK, Copies holds the replica's
+// committed copies in Objs order. NeedFull reports that the replica has no
+// session prefix of length From (it restarted, or evicted the session): the
+// requester must reset its watermark for this replica and resend the whole
+// footprint. Denials carry the same abort-routing answer as ReadRep.
+type BatchReadRep struct {
+	OK         bool
+	Copies     []ObjectCopy
+	AbortDepth int
+	AbortChk   int
+	LockOnly   bool
+	NeedFull   bool
+}
+
 // PrepareReq is phase one of the two-phase commit sent to the write quorum.
 // Reads carries the read-set versions to validate; Writes carries the
 // buffered writes with the version at which each object was acquired
@@ -184,6 +223,8 @@ func RegisterValue(v Value) {
 func init() {
 	gob.Register(ReadReq{})
 	gob.Register(ReadRep{})
+	gob.Register(BatchReadReq{})
+	gob.Register(BatchReadRep{})
 	gob.Register(PrepareReq{})
 	gob.Register(PrepareRep{})
 	gob.Register(DecideReq{})

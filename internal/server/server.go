@@ -112,6 +112,35 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		}
 		sp.End()
 		return rep
+	case proto.BatchReadReq:
+		sp := r.obs.StartRemoteSpan(proto.SpanServeRead, r.ID, m.TC)
+		t0 := r.obs.Start()
+		rep := r.handleBatchRead(m)
+		r.obs.ObserveSince(obs.SiteServeRead, t0)
+		sp.SetTxn(m.Txn)
+		if len(m.Objs) == 1 {
+			sp.SetObj(m.Objs[0]) // single-object batches stay greppable like plain reads
+		}
+		sp.SetOK(rep.OK)
+		if rep.OK {
+			for _, c := range rep.Copies {
+				sp.AddItem(c.ID, c.Version)
+			}
+			if len(rep.Copies) == 1 {
+				sp.SetVersion(rep.Copies[0].Version)
+			}
+		} else {
+			sp.SetDepth(rep.AbortDepth)
+			sp.SetChk(rep.AbortChk)
+			switch {
+			case rep.NeedFull:
+				sp.SetNote("need-full")
+			case rep.LockOnly:
+				sp.SetNote("lock-only")
+			}
+		}
+		sp.End()
+		return rep
 	case proto.PrepareReq:
 		sp := r.obs.StartRemoteSpan(proto.SpanServePrepare, r.ID, m.TC)
 		r.metrics.Prepares.Add(1)
@@ -180,4 +209,29 @@ func (r *Replica) handleRead(m proto.ReadReq) proto.ReadRep {
 	}
 	copyv := r.st.Read(m.Txn, m.Obj, m.Write, m.Depth == 0)
 	return proto.ReadRep{OK: true, Copy: copyv, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+}
+
+// handleBatchRead is handleRead for the multi-object, delta-validated path:
+// one incremental Rqv pass over the whole accumulated footprint (the store
+// reconciles the shipped suffix into its per-transaction session first),
+// then every requested object fetched under the same metrics and PR/PW
+// recording rules as a single read. NeedFull denials are a resync signal,
+// not a conflict, so they don't count as read aborts.
+func (r *Replica) handleBatchRead(m proto.BatchReadReq) proto.BatchReadRep {
+	r.metrics.Reads.Add(1)
+	if m.Rqv {
+		res, needFull := r.st.ValidateDelta(m.Txn, m.From, m.Delta)
+		if needFull {
+			return proto.BatchReadRep{NeedFull: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+		}
+		if !res.OK {
+			r.metrics.ReadAborts.Add(1)
+			return proto.BatchReadRep{AbortDepth: res.AbortDepth, AbortChk: res.AbortChk, LockOnly: res.LockOnly}
+		}
+	}
+	copies := make([]proto.ObjectCopy, len(m.Objs))
+	for i, id := range m.Objs {
+		copies[i] = r.st.Read(m.Txn, id, m.Write, m.Depth == 0)
+	}
+	return proto.BatchReadRep{OK: true, Copies: copies, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
 }

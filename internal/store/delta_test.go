@@ -1,0 +1,165 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+// TestValidateDeltaSessionLifecycle table-drives the delta-watermark edge
+// cases of the replica-side validation session: building a session in
+// increments, truncate-and-append reconciliation after a client-side rewind,
+// the From-past-end resync signal, and whole-session (not delta-only)
+// validation semantics.
+func TestValidateDeltaSessionLifecycle(t *testing.T) {
+	type call struct {
+		from     int
+		delta    []proto.DataItem
+		wantOK   bool
+		wantFull bool
+		wantLen  int // session length after the call (ignored when wantFull)
+	}
+	cases := []struct {
+		name  string
+		setup []proto.ObjectCopy
+		calls []call
+	}{
+		{
+			name:  "incremental build validates whole session",
+			setup: []proto.ObjectCopy{cp("a", 3, 0), cp("b", 5, 0)},
+			calls: []call{
+				{from: 0, delta: []proto.DataItem{item("a", 3, 0, proto.NoChk)}, wantOK: true, wantLen: 1},
+				{from: 1, delta: []proto.DataItem{item("b", 5, 0, proto.NoChk)}, wantOK: true, wantLen: 2},
+				// Empty delta still revalidates everything already held.
+				{from: 2, delta: nil, wantOK: true, wantLen: 2},
+			},
+		},
+		{
+			name:  "stale retained prefix denies even with fresh delta",
+			setup: []proto.ObjectCopy{cp("a", 4, 0), cp("b", 5, 0)},
+			calls: []call{
+				// The session holds a@3 while the store has a@4: every later
+				// round must keep failing until the client rewinds past it —
+				// delta-only validation would wrongly pass the second call.
+				{from: 0, delta: []proto.DataItem{item("a", 3, 1, proto.NoChk)}, wantOK: false, wantLen: 1},
+				{from: 1, delta: []proto.DataItem{item("b", 5, 0, proto.NoChk)}, wantOK: false, wantLen: 2},
+			},
+		},
+		{
+			name:  "truncate and append drops rewound suffix",
+			setup: []proto.ObjectCopy{cp("a", 3, 0), cp("b", 9, 0), cp("c", 2, 0)},
+			calls: []call{
+				// b@8 is stale (store has 9): denial.
+				{from: 0, delta: []proto.DataItem{item("a", 3, 0, proto.NoChk), item("b", 8, 1, proto.NoChk)}, wantOK: false, wantLen: 2},
+				// The client rewound its log past b (partial abort) and now
+				// ships c from offset 1: the stale b entry must be gone.
+				{from: 1, delta: []proto.DataItem{item("c", 2, 1, proto.NoChk)}, wantOK: true, wantLen: 2},
+			},
+		},
+		{
+			name:  "from past end requests full resync",
+			setup: []proto.ObjectCopy{cp("a", 3, 0)},
+			calls: []call{
+				{from: 2, delta: []proto.DataItem{item("a", 3, 0, proto.NoChk)}, wantFull: true},
+				// The resync round (from 0, full footprint) then lands.
+				{from: 0, delta: []proto.DataItem{item("a", 3, 0, proto.NoChk)}, wantOK: true, wantLen: 1},
+			},
+		},
+		{
+			name:  "rewind to zero replaces whole session",
+			setup: []proto.ObjectCopy{cp("a", 5, 0), cp("b", 5, 0)},
+			calls: []call{
+				{from: 0, delta: []proto.DataItem{item("a", 4, 0, proto.NoChk)}, wantOK: false, wantLen: 1},
+				{from: 0, delta: []proto.DataItem{item("a", 5, 0, proto.NoChk), item("b", 5, 0, proto.NoChk)}, wantOK: true, wantLen: 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New()
+			s.Load(tc.setup)
+			const self = proto.TxnID(7)
+			for i, c := range tc.calls {
+				res, needFull := s.ValidateDelta(self, c.from, c.delta)
+				if needFull != c.wantFull {
+					t.Fatalf("call %d: needFull = %v, want %v", i, needFull, c.wantFull)
+				}
+				if c.wantFull {
+					continue
+				}
+				if res.OK != c.wantOK {
+					t.Fatalf("call %d: OK = %v, want %v (%+v)", i, res.OK, c.wantOK, res)
+				}
+				if got := s.SessionLen(self); got != c.wantLen {
+					t.Fatalf("call %d: session length = %d, want %d", i, got, c.wantLen)
+				}
+			}
+		})
+	}
+}
+
+// TestValidateDeltaCopiesDelta pins the anti-aliasing contract: the session
+// must not share memory with the request's delta slice, because transports
+// may redeliver a frame while the client has already rewritten its log.
+func TestValidateDeltaCopiesDelta(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 3, 0)})
+	delta := []proto.DataItem{item("a", 3, 0, proto.NoChk)}
+	if res, _ := s.ValidateDelta(1, 0, delta); !res.OK {
+		t.Fatalf("seed call denied: %+v", res)
+	}
+	delta[0].Version = 99 // the caller's buffer mutates after the call
+	if res, _ := s.ValidateDelta(1, 1, nil); !res.OK {
+		t.Fatal("session aliased the request delta: mutation leaked in")
+	}
+}
+
+// TestValidateDeltaSessionEviction checks decided transactions release their
+// sessions: Commit and Abort both evict, and DropLocks (node restart) clears
+// everything.
+func TestValidateDeltaSessionEviction(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 3, 0)})
+	d := []proto.DataItem{item("a", 3, 0, proto.NoChk)}
+	s.ValidateDelta(1, 0, d)
+	s.ValidateDelta(2, 0, d)
+	s.ValidateDelta(3, 0, d)
+	if n := s.Sessions(); n != 3 {
+		t.Fatalf("Sessions = %d, want 3", n)
+	}
+	s.Commit(1, nil)
+	s.Abort(2, nil)
+	if n := s.Sessions(); n != 1 {
+		t.Fatalf("Sessions after commit+abort = %d, want 1", n)
+	}
+	if got := s.SessionLen(3); got != 1 {
+		t.Fatalf("surviving session length = %d, want 1", got)
+	}
+	s.DropLocks()
+	if n := s.Sessions(); n != 0 {
+		t.Fatalf("Sessions after DropLocks = %d, want 0", n)
+	}
+}
+
+// TestValidateDeltaPruneBound checks the session table cannot grow without
+// bound on read-only local commits (which never send a decide): once the
+// table passes the pruning threshold, admitting a NEW session evicts old
+// ones, and the requesting transaction itself is never evicted.
+func TestValidateDeltaPruneBound(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("a", 3, 0)})
+	d := []proto.DataItem{item("a", 3, 0, proto.NoChk)}
+	for i := 0; i < 4*pruneSessions; i++ {
+		self := proto.TxnID(i + 1)
+		if res, _ := s.ValidateDelta(self, 0, d); !res.OK {
+			t.Fatalf("txn %d denied: %+v", self, res)
+		}
+		if got := s.SessionLen(self); got != 1 {
+			t.Fatalf("txn %d: own session evicted (len %d)", self, got)
+		}
+		if n := s.Sessions(); n > pruneSessions+1 {
+			t.Fatalf(fmt.Sprintf("session table grew to %d (> %d)", n, pruneSessions+1))
+		}
+	}
+}

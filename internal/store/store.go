@@ -16,6 +16,13 @@ import (
 // be discarded once a record accumulates too many.
 const prunePRPW = 128
 
+// pruneSessions bounds the number of concurrent delta-validation sessions a
+// replica keeps. Sessions are an optimisation cache, not correctness state:
+// evicting one only forces the owning transaction to resend its full
+// footprint (the replica answers NeedFull), so stale sessions of transactions
+// that aborted without a decide message cannot accumulate without bound.
+const pruneSessions = 256
+
 type record struct {
 	copyv     proto.ObjectCopy
 	protected bool
@@ -40,6 +47,7 @@ type Store struct {
 	objs     map[proto.ObjectID]*record
 	absLocks map[string]*absLock      // abstract locks (open nesting), keyed by name
 	absPrep  map[proto.TxnID][]string // locks acquired by an in-flight prepare, keyed by the preparing transaction
+	sessions map[proto.TxnID][]proto.DataItem // delta-validation sessions: accumulated footprint per transaction, in log order
 }
 
 // New returns an empty store.
@@ -48,6 +56,7 @@ func New() *Store {
 		objs:     make(map[proto.ObjectID]*record),
 		absLocks: make(map[string]*absLock),
 		absPrep:  make(map[proto.TxnID][]string),
+		sessions: make(map[proto.TxnID][]proto.DataItem),
 	}
 }
 
@@ -107,6 +116,7 @@ func (s *Store) DropLocks() {
 	}
 	clear(s.absLocks)
 	clear(s.absPrep)
+	clear(s.sessions)
 }
 
 // AnyProtected reports whether any object is currently protected by an
@@ -181,6 +191,65 @@ func (s *Store) Validate(self proto.TxnID, items []proto.DataItem) ValidationRes
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.validateLocked(self, items)
+}
+
+// ValidateDelta is the incremental form of Validate used by batched reads.
+// The store keeps one session per transaction: the footprint entries it has
+// accepted so far, in the requester's log order. The caller claims the
+// session prefix [0, from) is already in place and ships only the suffix
+// delta; the store reconciles by truncating to from and appending delta
+// (which makes re-delivered or reordered duplicates converge to the
+// requester's log — the delivery contract allows both), then validates the
+// ENTIRE session. A positive result therefore certifies the whole
+// accumulated footprint, exactly like Validate over the full data set —
+// which is what keeps read-only local commits sound under delta shipping.
+//
+// needFull reports that the store has no session prefix of length from (it
+// restarted, or pruned the session): nothing is validated and the caller
+// must resend the complete footprint with from == 0.
+func (s *Store) ValidateDelta(self proto.TxnID, from int, delta []proto.DataItem) (res ValidationResult, needFull bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.sessions[self]
+	if from > len(sess) {
+		return ValidationResult{AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}, true
+	}
+	// The three-index slice pins cap to from, so the append below always
+	// copies delta's values instead of aliasing the request message.
+	sess = append(sess[:from:from], delta...)
+	if _, ok := s.sessions[self]; !ok && len(s.sessions) >= pruneSessions {
+		s.pruneSessionsLocked(self)
+	}
+	s.sessions[self] = sess
+	return s.validateLocked(self, sess), false
+}
+
+// pruneSessionsLocked evicts about half of the sessions (never self's).
+// Evicted transactions recover via the NeedFull resync.
+func (s *Store) pruneSessionsLocked(self proto.TxnID) {
+	for t := range s.sessions {
+		if t == self {
+			continue
+		}
+		delete(s.sessions, t)
+		if len(s.sessions) < pruneSessions/2 {
+			break
+		}
+	}
+}
+
+// SessionLen reports the length of txn's delta-validation session (tests).
+func (s *Store) SessionLen(txn proto.TxnID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions[txn])
+}
+
+// Sessions reports how many delta-validation sessions are live (tests).
+func (s *Store) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
 }
 
 func (s *Store) validateLocked(self proto.TxnID, items []proto.DataItem) ValidationResult {
@@ -344,6 +413,8 @@ func (s *Store) Commit(txn proto.TxnID, writes []proto.ObjectCopy) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.settleAbstract(txn, true)
+	delete(s.sessions, txn) // the transaction is decided; its session is dead
+
 	for _, w := range writes {
 		r := s.rec(w.ID)
 		if r.copyv.Version < w.Version {
@@ -364,6 +435,7 @@ func (s *Store) Abort(txn proto.TxnID, ids []proto.ObjectID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.settleAbstract(txn, false)
+	delete(s.sessions, txn)
 	for _, id := range ids {
 		r, ok := s.objs[id]
 		if !ok {

@@ -204,6 +204,10 @@ type ClusterConfig struct {
 	// LockWaitRetries is the contention-manager policy for lock-only read
 	// denials (see core.Config.LockWaitRetries; default 0 = paper policy).
 	LockWaitRetries int
+	// LegacyReads reverts runtimes to per-object read rounds carrying the
+	// full footprint (see core.Config.LegacyReads; default off = batched
+	// reads with delta-Rqv).
+	LegacyReads bool
 	// BackoffBase/BackoffMax tune full-abort backoff (see core.Config).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
@@ -319,6 +323,7 @@ func (c *Cluster) Runtime(node NodeID) *Runtime {
 		BackoffMax:      c.cfg.BackoffMax,
 		MaxRetries:      c.cfg.MaxRetries,
 		LockWaitRetries: c.cfg.LockWaitRetries,
+		LegacyReads:     c.cfg.LegacyReads,
 		Obs:             c.cfg.Obs,
 	})
 	if err != nil {

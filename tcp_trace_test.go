@@ -184,6 +184,99 @@ func TestTCPClusterTracedEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTCPCheckpointedCommitTraced pins that QR-CHK commits are observable
+// exactly like flat/closed ones: the commit emits an EvCommit trace event
+// carrying the committed attempt's id and stamps the root span's txn id, so
+// obs.CheckTrace and abort attribution treat Checkpoint-mode transactions
+// identically to Atomic's.
+func TestTCPCheckpointedCommitTraced(t *testing.T) {
+	const nodes, txns = 4, 4
+	tc, _ := startTracedTCPCluster(t, nodes)
+	tc.load([]proto.ObjectCopy{
+		{ID: "x", Version: 1, Val: proto.Int64(0)},
+		{ID: "y", Version: 1, Val: proto.Int64(0)},
+	})
+
+	clientReg := obs.NewRegistry().
+		WithSpans(obs.NewSpanBuffer(4096)).
+		WithTracer(obs.NewTracer(1024, 1, nil))
+	rt, err := core.NewRuntime(core.Config{
+		Node:            0,
+		Transport:       tc.trans,
+		Quorums:         core.TreeQuorums{Tree: tc.tree},
+		Mode:            core.Checkpoint,
+		CheckpointEvery: 1,
+		Obs:             clientReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	bump := func(id proto.ObjectID) core.Step {
+		return func(tx *core.Txn, _ core.State) error {
+			v, err := tx.Read(id)
+			if err != nil {
+				return err
+			}
+			return tx.Write(id, v.(proto.Int64)+1)
+		}
+	}
+	steps := []core.Step{bump("x"), bump("y")}
+	for i := 0; i < txns; i++ {
+		if _, err := rt.AtomicSteps(ctx, core.NoState{}, steps); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+
+	// Every commit emitted an EvCommit event stamped with the attempt's id.
+	commitTxns := map[uint64]bool{}
+	for _, ev := range clientReg.Tracer().Events() {
+		if ev.Kind == obs.EvCommit {
+			if ev.Txn == 0 {
+				t.Fatal("EvCommit with zero txn id")
+			}
+			commitTxns[ev.Txn] = true
+		}
+	}
+	if len(commitTxns) != txns {
+		t.Fatalf("EvCommit events for %d distinct txns, want %d", len(commitTxns), txns)
+	}
+
+	// Root spans carry the committed txn id, matching the commit events.
+	rootTxns := map[uint64]bool{}
+	for _, s := range clientReg.Spans().Spans() {
+		if s.Kind == proto.SpanRoot {
+			if !s.OK || s.Txn == 0 {
+				t.Fatalf("root span not stamped: OK=%v Txn=%d", s.OK, s.Txn)
+			}
+			rootTxns[uint64(s.Txn)] = true
+		}
+	}
+	if len(rootTxns) != txns {
+		t.Fatalf("stamped root spans for %d distinct txns, want %d", len(rootTxns), txns)
+	}
+	for txn := range rootTxns {
+		if !commitTxns[txn] {
+			t.Fatalf("root span txn %d has no matching EvCommit", txn)
+		}
+	}
+
+	// The merged timeline — checkpoint spans included — passes the checker.
+	nodeIDs := make([]proto.NodeID, nodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = proto.NodeID(i)
+	}
+	merged := qrdtm.CollectTrace(ctx, tc.trans, 0, nodeIDs, clientReg.Spans().Spans())
+	check := qrdtm.CheckTrace(merged)
+	if err := check.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if check.Traces == 0 {
+		t.Fatal("checker saw no complete traces")
+	}
+}
+
 // TestTCPTraceContextOnWire pins the wire behavior: a request carrying a
 // trace context round-trips it through gob, and an untraced request arrives
 // with a zero context (no wire overhead when tracing is off).
