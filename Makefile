@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-obs bench-trace exp exp-quick fmt cover clean check
+.PHONY: all build vet test race bench bench-quick bench-obs bench-trace bench-wire exp exp-quick fmt cover clean check
 
 all: build vet test
 
@@ -19,11 +19,15 @@ race:
 	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/ .
 
 # Fast pre-commit gate: vet, the race-detected transport, engine and
-# observability suites, and a short wire-message fuzz smoke.
+# observability suites, short wire-message and binary-codec fuzz smokes
+# (the codec run also seeds from — and so guards — the checked-in corpus),
+# and the wire-protocol A/B benchmark.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/...
 	$(GO) test -run='^$$' -fuzz=FuzzBatchReadWire -fuzztime=5s ./internal/proto/
+	$(GO) test -run=TestWireFuzzCorpusPresent -fuzz=FuzzWireCodec -fuzztime=5s ./internal/proto/
+	$(MAKE) bench-wire
 
 # Every paper artifact as a Go benchmark (throughput via b.ReportMetric).
 bench:
@@ -39,6 +43,10 @@ bench-obs:
 # Traced run per protocol, invariant-checked → BENCH_trace.json (Perfetto).
 bench-trace:
 	$(GO) run ./cmd/qr-bench -exp trace -quick
+
+# Binary wire protocol vs legacy gob loop over real TCP → BENCH_wire.json.
+bench-wire:
+	$(GO) run ./cmd/qr-bench -exp wire -quick
 
 # Regenerate the paper's figures and tables.
 exp:

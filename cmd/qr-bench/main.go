@@ -34,11 +34,13 @@ func main() {
 	obsOut := flag.String("obs-out", harness.BenchObsPath, "output path for the obs experiment's JSON (empty disables)")
 	traceOut := flag.String("trace-out", harness.TracePath, "output path for the trace experiment's Chrome trace-event JSON (empty disables)")
 	batchOut := flag.String("batch-out", harness.BenchBatchPath, "output path for the batch experiment's JSON (empty disables)")
+	wireOut := flag.String("wire-out", harness.BenchWirePath, "output path for the wire experiment's JSON (empty disables)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	harness.BenchObsPath = *obsOut
 	harness.TracePath = *traceOut
 	harness.BenchBatchPath = *batchOut
+	harness.BenchWirePath = *wireOut
 
 	if *list {
 		for _, id := range harness.ExperimentOrder {

@@ -53,10 +53,11 @@ func main() {
 	admin := flag.String("admin", "", "admin HTTP address serving /metrics, /healthz, /trace, /debug/pprof/ (empty disables)")
 	trace := flag.Bool("trace", false, "record causal spans into a ring buffer (served at /trace and to TraceDump requests)")
 	traceOut := flag.String("trace-out", "", "client mode: collect spans from every replica after the run and write Chrome trace-event JSON here (implies tracing)")
+	legacyWire := flag.Bool("legacy-wire", false, "client mode: speak the legacy one-call-per-connection gob protocol instead of pipelined binary frames (servers accept both)")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -117,7 +118,7 @@ func parseMode(s string) (core.Mode, error) {
 // traceRingSize holds roughly a thousand demo transactions' worth of spans.
 const traceRingSize = 1 << 16
 
-func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string) error {
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -131,7 +132,11 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 		peers[proto.NodeID(i)] = strings.TrimSpace(a)
 	}
 
-	tcp := cluster.NewTCPTransport(peers)
+	var tcpOpts []cluster.TCPOption
+	if legacyWire {
+		tcpOpts = append(tcpOpts, cluster.WithLegacyWire())
+	}
+	tcp := cluster.NewTCPTransport(peers, tcpOpts...)
 	defer tcp.Close()
 	// Mask transient connection faults (a replica restarting, a reset pooled
 	// connection) with bounded retry so they don't surface as node crashes.

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,11 +16,24 @@ import (
 	"qrdtm/internal/proto"
 )
 
-// This file implements the real-network transport: replicas serve gob-framed
+// This file implements the real-network transport: replicas serve framed
 // request/reply messages over TCP. It exists to demonstrate that the
 // protocols in internal/core and internal/server are not bound to the
 // simulator; cmd/qr-node and the integration tests run a genuine
 // multi-listener cluster over it.
+//
+// Two wire protocols share one server (see wire.go for the frame layout):
+//
+//   - The default is the pipelined binary protocol: one multiplexed
+//     connection per peer carries many concurrent calls, request-id-tagged
+//     frames let a demux goroutine route replies to waiting callers, and the
+//     hot proto messages use the hand-rolled binary codec with pooled
+//     buffers (gob-blob frames cover everything else).
+//   - WithLegacyWire selects the original one-call-at-a-time gob protocol
+//     over a small per-peer connection pool, kept for A/B measurement.
+//
+// The server sniffs the first byte of each accepted connection to pick the
+// protocol, so mixed clients coexist on one listener.
 //
 // Failure model: a TCP-level fault (dial refused, connection reset, decode
 // EOF) does not by itself prove the destination crashed — the node may be
@@ -27,70 +43,28 @@ import (
 // transient faults and only lets ErrNodeDown stand once the retry budget is
 // exhausted. Context cancellation and deadlines are surfaced as the context
 // errors themselves, never as ErrNodeDown.
+//
+// A connection that was healthy when a call borrowed it but dies before the
+// reply arrives is the signature of a peer restart, not a request failure:
+// the call transparently redials once on a fresh connection before giving
+// up. Handlers tolerate the resulting at-least-once delivery (prepares
+// re-vote, commits are version-guarded — the same contract FaultTransport's
+// duplicate injection already relies on).
 
 type tcpEnvelope struct {
 	From proto.NodeID
 	Req  any
 }
 
-// tcpResult is the wire reply frame. Code carries error identity across the
-// gob round-trip so that sentinel errors (ErrNodeDown, ErrRemotePanic, the
-// context errors) survive with errors.Is intact; Err carries the message
-// text. Code zero with an empty Err means success.
+// tcpResult is the legacy gob reply frame. Flags carries error identity
+// across the gob round-trip as the wire.go bitmask, so sentinel errors —
+// including errors.Join-ed combinations like ErrNodeDown+ErrTransient —
+// survive with errors.Is intact; Err carries the message text. Zero flags
+// with an empty Err means success.
 type tcpResult struct {
-	Resp any
-	Code int32
-	Err  string
-}
-
-// Wire error codes (tcpResult.Code).
-const (
-	wireOK       int32 = iota // no error (or, with Err set, a generic error)
-	wireGeneric               // opaque remote error, text only
-	wirePanic                 // remote handler panicked (ErrRemotePanic)
-	wireNodeDown              // remote saw ErrNodeDown
-	wireCanceled              // remote saw context.Canceled
-	wireDeadline              // remote saw context.DeadlineExceeded
-)
-
-// encodeWireError maps an error to its wire representation.
-func encodeWireError(err error) (int32, string) {
-	switch {
-	case err == nil:
-		return wireOK, ""
-	case errors.Is(err, ErrRemotePanic):
-		return wirePanic, err.Error()
-	case errors.Is(err, ErrNodeDown):
-		return wireNodeDown, err.Error()
-	case errors.Is(err, context.Canceled):
-		return wireCanceled, err.Error()
-	case errors.Is(err, context.DeadlineExceeded):
-		return wireDeadline, err.Error()
-	default:
-		return wireGeneric, err.Error()
-	}
-}
-
-// decodeWireError reconstructs the error for a wire code, restoring sentinel
-// identity so errors.Is works on the caller's side of the connection.
-func decodeWireError(code int32, msg string) error {
-	switch code {
-	case wireOK:
-		if msg == "" {
-			return nil
-		}
-		return errors.New(msg)
-	case wirePanic:
-		return fmt.Errorf("%w: %s", ErrRemotePanic, msg)
-	case wireNodeDown:
-		return fmt.Errorf("%w: %s", ErrNodeDown, msg)
-	case wireCanceled:
-		return fmt.Errorf("%w: %s", context.Canceled, msg)
-	case wireDeadline:
-		return fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
-	default:
-		return errors.New(msg)
-	}
+	Resp  any
+	Flags uint64
+	Err   string
 }
 
 // TCPServer serves one node's handler on a TCP listener.
@@ -121,7 +95,7 @@ func ListenTCP(id proto.NodeID, addr string, h Handler) (*TCPServer, error) {
 func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
 
 // Close stops the listener, closes every live connection (so serve
-// goroutines blocked in Decode on a client's idle pooled connection unblock
+// goroutines blocked reading a client's idle connection unblock
 // immediately), and waits for them to finish. It is safe to call more than
 // once.
 func (s *TCPServer) Close() error {
@@ -170,11 +144,47 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn sniffs the protocol and dispatches: the binary protocol's magic
+// starts with 0x80, which can never open a gob stream (gob's first byte is a
+// type id or byte count in [0x00,0x7F] ∪ [0xF8,0xFF]), so one peeked byte
+// decides.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.untrack(conn)
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wireMagic[0] {
+		s.serveWire(conn, br)
+	} else {
+		s.serveGob(conn, br)
+	}
+}
+
+// handle runs the handler for one request, converting panics and returned
+// error values into a typed error result.
+func (s *TCPServer) handle(from proto.NodeID, req any) (resp any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("%w: %v", ErrRemotePanic, r)
+		}
+	}()
+	out := s.handler(from, req)
+	if e, ok := out.(error); ok {
+		// Handlers that return an error value get typed propagation instead
+		// of an encode failure on an unregistered type.
+		return nil, e
+	}
+	return out, nil
+}
+
+// serveGob speaks the legacy protocol: strictly alternating gob-encoded
+// request/reply pairs, one call at a time.
+func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	for {
 		var env tcpEnvelope
@@ -182,41 +192,99 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 		var res tcpResult
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					res = tcpResult{}
-					res.Code, res.Err = encodeWireError(fmt.Errorf("%w: %v", ErrRemotePanic, r))
-				}
-			}()
-			out := s.handler(env.From, env.Req)
-			if err, ok := out.(error); ok {
-				// Handlers that return an error value get typed propagation
-				// instead of a gob-encode failure on an unregistered type.
-				res.Code, res.Err = encodeWireError(err)
-			} else {
-				res.Resp = out
-			}
-		}()
+		out, herr := s.handle(env.From, env.Req)
+		if herr != nil {
+			res.Flags, res.Err = encodeWireError(herr)
+		} else {
+			res.Resp = out
+		}
 		if err := enc.Encode(&res); err != nil {
 			return
 		}
 	}
 }
 
-// maxIdleConnsPerPeer caps the per-peer connection pool; connections
-// returned to a full pool are closed instead of retained.
+// serveWire speaks the pipelined binary protocol: each request frame is
+// dispatched to its own goroutine so many calls proceed concurrently on one
+// connection, and replies are written back (tagged with the request id)
+// in whatever order the handlers finish.
+func (s *TCPServer) serveWire(conn net.Conn, br *bufio.Reader) {
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != wireMagic {
+		return
+	}
+	var (
+		wmu sync.Mutex
+		wg  sync.WaitGroup
+	)
+	defer wg.Wait()
+	var scratch []byte
+	for {
+		payload, err := readFrame(br, scratch)
+		if err != nil {
+			return
+		}
+		scratch = payload
+		if len(payload) < 9 || payload[8] != frameReq {
+			return
+		}
+		id := binary.BigEndian.Uint64(payload)
+		// Decode inline (the codec copies everything out of the frame
+		// buffer, so scratch is reusable immediately), dispatch concurrently.
+		from, req, derr := decodeRequestBody(payload[9:])
+		wg.Add(1)
+		go func(id uint64, from proto.NodeID, req any, derr error) {
+			defer wg.Done()
+			var (
+				out  any
+				herr error
+			)
+			if derr != nil {
+				herr = derr
+			} else {
+				out, herr = s.handle(from, req)
+			}
+			rb := getFrameBuf()
+			body, encErr := appendReply((*rb)[:0], out, herr)
+			if encErr != nil {
+				body, _ = appendReply((*rb)[:0], nil, encErr)
+			}
+			*rb = body
+			frame := getFrameBuf()
+			*frame = appendFrame((*frame)[:0], id, frameRep, body)
+			putFrameBuf(rb)
+			wmu.Lock()
+			_, werr := conn.Write(*frame)
+			wmu.Unlock()
+			putFrameBuf(frame)
+			if werr != nil {
+				// Unblock the read loop; the connection is done for.
+				_ = conn.Close()
+			}
+		}(id, from, req, derr)
+	}
+}
+
+// maxIdleConnsPerPeer caps the legacy per-peer connection pool; connections
+// returned to a full pool are closed instead of retained. The default
+// binary protocol holds exactly one multiplexed connection per peer and
+// does not use the pool.
 const maxIdleConnsPerPeer = 4
 
-// TCPTransport implements Transport over TCP with a small per-peer
-// connection pool. Destination addresses are fixed at construction.
+// TCPTransport implements Transport over TCP. By default it speaks the
+// pipelined binary protocol over one multiplexed connection per peer;
+// WithLegacyWire selects the original gob protocol over a small per-peer
+// pool. Destination addresses are fixed at construction.
 type TCPTransport struct {
-	peers map[proto.NodeID]string
+	peers  map[proto.NodeID]string
+	legacy bool
 
 	mu     sync.Mutex
-	idle   map[proto.NodeID][]*tcpConn
+	idle   map[proto.NodeID][]*tcpConn // legacy pool
+	conns  map[proto.NodeID]*muxConn   // binary protocol: one per peer
 	closed bool
 
+	nextID      atomic.Uint64
 	dialTimeout time.Duration
 	messages    atomic.Uint64
 	bytes       atomic.Uint64
@@ -235,22 +303,46 @@ type tcpConn struct {
 	dec  *gob.Decoder
 }
 
+// TCPOption configures a TCPTransport.
+type TCPOption func(*TCPTransport)
+
+// WithLegacyWire selects the original one-call-per-round-trip gob protocol
+// instead of the pipelined binary protocol (A/B comparison; mirrors
+// Config.LegacyReads for the read protocol).
+func WithLegacyWire() TCPOption {
+	return func(t *TCPTransport) { t.legacy = true }
+}
+
+// WithDialTimeout sets the per-dial timeout (default 2s). The caller's
+// context can always cut a dial shorter.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(t *TCPTransport) { t.dialTimeout = d }
+}
+
 // NewTCPTransport builds a transport that reaches each node at the given
 // address.
-func NewTCPTransport(peers map[proto.NodeID]string) *TCPTransport {
+func NewTCPTransport(peers map[proto.NodeID]string, opts ...TCPOption) *TCPTransport {
 	p := make(map[proto.NodeID]string, len(peers))
 	st := make(map[proto.NodeID]*atomic.Int32, len(peers))
 	for k, v := range peers {
 		p[k] = v
 		st[k] = &atomic.Int32{}
 	}
-	return &TCPTransport{
+	t := &TCPTransport{
 		peers:       p,
 		idle:        make(map[proto.NodeID][]*tcpConn),
+		conns:       make(map[proto.NodeID]*muxConn),
 		dialTimeout: 2 * time.Second,
 		peerState:   st,
 	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
+
+// Legacy reports whether the transport speaks the legacy gob protocol.
+func (t *TCPTransport) Legacy() bool { return t.legacy }
 
 // Peer last-call states.
 const (
@@ -286,7 +378,7 @@ func (t *TCPTransport) PeerCounts() (up, down int) {
 
 // Stats returns transport counters (mirrors MemTransport.Stats). Bytes are
 // the real frame bytes this transport read and wrote on its connections —
-// gob stream preambles included — not an estimate.
+// protocol preambles included — not an estimate.
 func (t *TCPTransport) Stats() Stats {
 	return Stats{
 		Messages: t.messages.Load(),
@@ -314,27 +406,400 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func (t *TCPTransport) get(to proto.NodeID) (*tcpConn, error) {
+// dial opens a connection to peer "to", honouring the caller's context: a
+// cancelled or tight-deadline call returns immediately with the context's
+// error instead of blocking out the full dial timeout.
+func (t *TCPTransport) dial(ctx context.Context, to proto.NodeID) (net.Conn, error) {
+	addr, ok := t.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %v", to)
+	}
+	d := net.Dialer{Timeout: t.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller gave up; say so rather than suspecting the peer.
+			return nil, ctxErr
+		}
+		// Refused/unreachable: suspected down, but retryable — the node may
+		// be restarting.
+		return nil, errors.Join(ErrNodeDown, ErrTransient, err)
+	}
+	return conn, nil
+}
+
+// classifyCallErr turns a raw connection error into the caller-facing error:
+// context errors keep their identity (a cancelled call says nothing about
+// the peer's health); everything else is a suspected-down, retryable fault.
+func classifyCallErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return errors.Join(ErrNodeDown, ErrTransient, err)
+}
+
+// Call implements Transport.
+func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
+	if t.legacy {
+		return t.legacyCall(ctx, from, to, req)
+	}
+	buf := getFrameBuf()
+	body, err := appendRequestBody((*buf)[:0], from, req)
+	if err != nil {
+		putFrameBuf(buf)
+		t.calls.Add(1)
+		t.failed.Add(1)
+		return nil, err
+	}
+	*buf = body
+	resp, err := t.callWire(ctx, to, body)
+	putFrameBuf(buf)
+	return resp, err
+}
+
+// CallMany implements MultiCaller: the request body is serialized once and
+// the frames fan out to every node, so a k-member quorum multicast pays one
+// encode instead of k.
+func (t *TCPTransport) CallMany(ctx context.Context, from proto.NodeID, nodes []proto.NodeID, req any) []Reply {
+	if t.legacy {
+		return MulticastEach(ctx, t, from, nodes, func(proto.NodeID) any { return req })
+	}
+	buf := getFrameBuf()
+	body, err := appendRequestBody((*buf)[:0], from, req)
+	if err != nil {
+		putFrameBuf(buf)
+		replies := make([]Reply, len(nodes))
+		for i, n := range nodes {
+			t.calls.Add(1)
+			t.failed.Add(1)
+			replies[i] = Reply{Node: n, Err: err}
+		}
+		return replies
+	}
+	*buf = body
+	replies := make([]Reply, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n proto.NodeID) {
+			defer wg.Done()
+			resp, err := t.callWire(ctx, n, body)
+			replies[i] = Reply{Node: n, Resp: resp, Err: err}
+		}(i, n)
+	}
+	wg.Wait()
+	putFrameBuf(buf)
+	return replies
+}
+
+// Outcomes of one pipelined call attempt.
+const (
+	attemptReply = iota // got a reply frame (possibly a remote error)
+	attemptCtx          // caller's context fired first
+	attemptDead         // the connection died before the reply
+)
+
+// callWire runs one call over the peer's multiplexed connection. A
+// connection that pre-existed the call and dies mid-exchange is retried
+// exactly once on a fresh dial (stale-connection masking, see the file
+// comment); a fresh connection's death stands as a fault.
+func (t *TCPTransport) callWire(ctx context.Context, to proto.NodeID, body []byte) (any, error) {
+	t.calls.Add(1)
+	if err := ctx.Err(); err != nil {
+		t.failed.Add(1)
+		return nil, err
+	}
+	retried := false
+	for {
+		mc, preexisting, err := t.getMux(ctx, to)
+		if err != nil {
+			t.failed.Add(1)
+			if errors.Is(err, ErrNodeDown) {
+				t.notePeer(to, false)
+			}
+			return nil, err
+		}
+		resp, callErr, outcome := t.wireAttempt(ctx, mc, body)
+		switch outcome {
+		case attemptReply:
+			t.notePeer(to, true)
+			return resp, callErr
+		case attemptCtx:
+			t.failed.Add(1)
+			return nil, callErr
+		default: // attemptDead
+			if preexisting && !retried && ctx.Err() == nil {
+				retried = true
+				continue
+			}
+			t.failed.Add(1)
+			err := classifyCallErr(ctx, mc.deathErr())
+			if errors.Is(err, ErrNodeDown) {
+				t.notePeer(to, false)
+			}
+			return nil, err
+		}
+	}
+}
+
+// wireAttempt sends body as one frame on mc and waits for the reply, the
+// context, or the connection's death — whichever comes first. On
+// attemptReply, callErr is the remote handler's error (nil on success).
+func (t *TCPTransport) wireAttempt(ctx context.Context, mc *muxConn, body []byte) (resp any, callErr error, outcome int) {
+	id := t.nextID.Add(1)
+	ch := make(chan muxReply, 1)
+	if !mc.register(id, ch) {
+		return nil, nil, attemptDead
+	}
+	frame := getFrameBuf()
+	*frame = appendFrame((*frame)[:0], id, frameReq, body)
+	select {
+	case mc.wq <- frame:
+	case <-mc.deadCh:
+		mc.deregister(id)
+		putFrameBuf(frame)
+		return nil, nil, attemptDead
+	case <-ctx.Done():
+		mc.deregister(id)
+		putFrameBuf(frame)
+		return nil, ctx.Err(), attemptCtx
+	}
+	t.messages.Add(1) // request leg
+	select {
+	case r := <-ch:
+		t.messages.Add(1) // reply leg
+		return r.resp, r.err, attemptReply
+	case <-mc.deadCh:
+		mc.deregister(id)
+		return nil, nil, attemptDead
+	case <-ctx.Done():
+		// Abandon the call but leave the connection healthy: the demux loop
+		// drops the late reply when it finds no waiter registered.
+		mc.deregister(id)
+		return nil, ctx.Err(), attemptCtx
+	}
+}
+
+// getMux returns the peer's live multiplexed connection, dialing one if
+// needed. preexisting reports whether the connection predates this call
+// (it was found live, or another call's dial won the install race) — the
+// condition under which a mid-call death is retried.
+func (t *TCPTransport) getMux(ctx context.Context, to proto.NodeID) (mc *muxConn, preexisting bool, err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, errors.New("cluster: transport closed")
+	}
+	if mc := t.conns[to]; mc != nil && !mc.isDead() {
+		t.mu.Unlock()
+		return mc, true, nil
+	}
+	t.mu.Unlock()
+	conn, err := t.dial(ctx, to)
+	if err != nil {
+		return nil, false, err
+	}
+	fresh := newMuxConn(&countingConn{Conn: conn, bytes: &t.bytes})
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		fresh.kill(errors.New("cluster: transport closed"))
+		return nil, false, errors.New("cluster: transport closed")
+	}
+	if old := t.conns[to]; old != nil && !old.isDead() {
+		// A concurrent call's dial won; use its connection.
+		t.mu.Unlock()
+		fresh.kill(errors.New("cluster: duplicate dial"))
+		return old, true, nil
+	}
+	t.conns[to] = fresh
+	t.mu.Unlock()
+	fresh.start()
+	return fresh, false, nil
+}
+
+// muxReply is one demultiplexed reply.
+type muxReply struct {
+	resp any
+	err  error
+}
+
+// muxConn is one multiplexed connection: a write loop drains queued frames
+// (coalescing flushes across pipelined calls), a read loop routes reply
+// frames to waiting callers by request id, and deadCh broadcasts the
+// connection's death to everyone blocked on it.
+type muxConn struct {
+	conn net.Conn
+	wq   chan *[]byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxReply
+	dead    bool
+	err     error
+
+	deadCh chan struct{}
+}
+
+func newMuxConn(conn net.Conn) *muxConn {
+	return &muxConn{
+		conn:    conn,
+		wq:      make(chan *[]byte, 64),
+		pending: make(map[uint64]chan muxReply),
+		deadCh:  make(chan struct{}),
+	}
+}
+
+func (mc *muxConn) start() {
+	go mc.readLoop()
+	go mc.writeLoop()
+}
+
+func (mc *muxConn) isDead() bool {
+	select {
+	case <-mc.deadCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// register adds a waiter; it reports false when the connection is already
+// dead (the reply can never arrive).
+func (mc *muxConn) register(id uint64, ch chan muxReply) bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.dead {
+		return false
+	}
+	mc.pending[id] = ch
+	return true
+}
+
+func (mc *muxConn) deregister(id uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+}
+
+// deliver hands a reply to its waiter; replies whose caller already gave up
+// are dropped.
+func (mc *muxConn) deliver(id uint64, r muxReply) {
+	mc.mu.Lock()
+	ch := mc.pending[id]
+	delete(mc.pending, id)
+	mc.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// kill marks the connection dead exactly once, closes it, and wakes every
+// waiter via deadCh.
+func (mc *muxConn) kill(err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.err = err
+	mc.pending = nil
+	mc.mu.Unlock()
+	close(mc.deadCh)
+	_ = mc.conn.Close()
+}
+
+func (mc *muxConn) deathErr() error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.err != nil {
+		return mc.err
+	}
+	return errors.New("cluster: connection closed")
+}
+
+// readLoop demultiplexes reply frames to waiting callers by request id.
+func (mc *muxConn) readLoop() {
+	br := bufio.NewReader(mc.conn)
+	var scratch []byte
+	for {
+		payload, err := readFrame(br, scratch)
+		if err != nil {
+			mc.kill(err)
+			return
+		}
+		scratch = payload
+		if len(payload) < 9 || payload[8] != frameRep {
+			mc.kill(errors.New("cluster: corrupt reply frame"))
+			return
+		}
+		id := binary.BigEndian.Uint64(payload)
+		resp, rerr := decodeReply(payload[9:])
+		mc.deliver(id, muxReply{resp: resp, err: rerr})
+	}
+}
+
+// writeLoop writes queued frames, draining everything already queued before
+// flushing so pipelined calls share flushes (and, under load, packets).
+func (mc *muxConn) writeLoop() {
+	bw := bufio.NewWriter(mc.conn)
+	if _, err := bw.Write(wireMagic[:]); err != nil {
+		mc.kill(err)
+		return
+	}
+	for {
+		select {
+		case frame := <-mc.wq:
+			_, err := bw.Write(*frame)
+			putFrameBuf(frame)
+			if err != nil {
+				mc.kill(err)
+				return
+			}
+		drain:
+			for {
+				select {
+				case frame := <-mc.wq:
+					_, err := bw.Write(*frame)
+					putFrameBuf(frame)
+					if err != nil {
+						mc.kill(err)
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				mc.kill(err)
+				return
+			}
+		case <-mc.deadCh:
+			return
+		}
+	}
+}
+
+// --- legacy gob client path ---
+
+// get hands out a pooled legacy connection or dials a fresh one; pooled
+// reports which, so the caller knows whether a mid-call death may be a
+// stale connection (retryable) rather than a peer fault.
+func (t *TCPTransport) get(ctx context.Context, to proto.NodeID) (c *tcpConn, pooled bool, err error) {
 	t.mu.Lock()
 	if free := t.idle[to]; len(free) > 0 {
 		c := free[len(free)-1]
 		t.idle[to] = free[:len(free)-1]
 		t.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
-	addr, ok := t.peers[to]
 	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("cluster: unknown peer %v", to)
-	}
-	conn, err := net.DialTimeout("tcp", addr, t.dialTimeout)
+	conn, err := t.dial(ctx, to)
 	if err != nil {
-		// Refused/unreachable: suspected down, but retryable — the node may
-		// be restarting.
-		return nil, errors.Join(ErrNodeDown, ErrTransient, err)
+		return nil, false, err
 	}
 	cc := &countingConn{Conn: conn, bytes: &t.bytes}
-	return &tcpConn{conn: conn, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, nil
+	return &tcpConn{conn: conn, enc: gob.NewEncoder(cc), dec: gob.NewDecoder(cc)}, false, nil
 }
 
 // put returns a connection to the pool, closing it instead when the pool is
@@ -350,35 +815,49 @@ func (t *TCPTransport) put(to proto.NodeID, c *tcpConn) {
 	t.mu.Unlock()
 }
 
-// classifyCallErr turns a raw connection error into the caller-facing error:
-// context errors keep their identity (a cancelled call says nothing about
-// the peer's health); everything else is a suspected-down, retryable fault.
-func classifyCallErr(ctx context.Context, err error) error {
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return ctxErr
-	}
-	return errors.Join(ErrNodeDown, ErrTransient, err)
-}
-
-// Call implements Transport. It watches ctx for the whole exchange: a
-// cancellation (with or without a deadline) forces the connection deadline
-// into the past, unblocking an in-flight Encode/Decode, and the call returns
-// the context's error rather than a misclassified ErrNodeDown.
-func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
+// legacyCall is the original one-call-per-round-trip gob exchange, with the
+// same stale-pooled-connection masking as the binary path: an exchange that
+// fails on a pooled connection before a reply was decoded redials once on a
+// fresh connection before the fault stands.
+func (t *TCPTransport) legacyCall(ctx context.Context, from, to proto.NodeID, req any) (any, error) {
 	t.calls.Add(1)
 	if err := ctx.Err(); err != nil {
 		t.failed.Add(1)
 		return nil, err
 	}
-	c, err := t.get(to)
-	if err != nil {
-		t.failed.Add(1)
-		if errors.Is(err, ErrNodeDown) {
-			t.notePeer(to, false)
+	retried := false
+	for {
+		c, pooled, err := t.get(ctx, to)
+		if err != nil {
+			t.failed.Add(1)
+			if errors.Is(err, ErrNodeDown) {
+				t.notePeer(to, false)
+			}
+			return nil, err
 		}
-		return nil, err
+		resp, appErr, connErr := t.legacyExchange(ctx, from, to, c, req)
+		if connErr != nil {
+			if pooled && !retried && ctx.Err() == nil {
+				retried = true
+				continue
+			}
+			t.failed.Add(1)
+			cerr := classifyCallErr(ctx, connErr)
+			if errors.Is(cerr, ErrNodeDown) {
+				t.notePeer(to, false)
+			}
+			return nil, cerr
+		}
+		return resp, appErr
 	}
+}
 
+// legacyExchange runs one request/reply round trip on c. It watches ctx for
+// the whole exchange: a cancellation (with or without a deadline) forces the
+// connection deadline into the past, unblocking an in-flight Encode/Decode.
+// connErr reports transport-level failure; appErr is the remote handler's
+// error decoded from the reply.
+func (t *TCPTransport) legacyExchange(ctx context.Context, from, to proto.NodeID, c *tcpConn, req any) (resp any, appErr, connErr error) {
 	if dl, ok := ctx.Deadline(); ok {
 		_ = c.conn.SetDeadline(dl)
 	}
@@ -393,30 +872,20 @@ func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 		}
 	}()
 
-	t.messages.Add(1)
+	t.messages.Add(1) // request leg
 	if err := c.enc.Encode(&tcpEnvelope{From: from, Req: req}); err != nil {
 		close(watchDone)
 		c.conn.Close()
-		t.failed.Add(1)
-		err = classifyCallErr(ctx, err)
-		if errors.Is(err, ErrNodeDown) {
-			t.notePeer(to, false)
-		}
-		return nil, err
+		return nil, nil, err
 	}
 	var res tcpResult
 	if err := c.dec.Decode(&res); err != nil {
 		close(watchDone)
 		c.conn.Close()
-		t.failed.Add(1)
-		err = classifyCallErr(ctx, err)
-		if errors.Is(err, ErrNodeDown) {
-			t.notePeer(to, false)
-		}
-		return nil, err
+		return nil, nil, err
 	}
 	close(watchDone)
-	t.messages.Add(1)
+	t.messages.Add(1) // reply leg
 	t.notePeer(to, true)
 	if ctx.Err() != nil {
 		// The watcher may have poisoned the deadline concurrently with the
@@ -427,27 +896,32 @@ func (t *TCPTransport) Call(ctx context.Context, from, to proto.NodeID, req any)
 		_ = c.conn.SetDeadline(time.Time{})
 		t.put(to, c)
 	}
-	if wireErr := decodeWireError(res.Code, res.Err); wireErr != nil {
-		return nil, wireErr
-	}
-	return res.Resp, nil
+	return res.Resp, decodeWireError(res.Flags, res.Err), nil
 }
 
-// CloseIdle drops every pooled idle connection (fault injection and tests);
-// in-flight calls are unaffected and the transport remains usable.
+// CloseIdle severs current connections (fault injection and tests): every
+// pooled legacy connection is dropped, and every multiplexed connection is
+// killed — in-flight pipelined calls observe the death and, when the
+// connection pre-existed them, transparently redial once. The transport
+// remains usable.
 func (t *TCPTransport) CloseIdle() {
 	t.mu.Lock()
 	idle := t.idle
 	t.idle = make(map[proto.NodeID][]*tcpConn)
+	conns := t.conns
+	t.conns = make(map[proto.NodeID]*muxConn)
 	t.mu.Unlock()
 	for _, free := range idle {
 		for _, c := range free {
 			c.conn.Close()
 		}
 	}
+	for _, mc := range conns {
+		mc.kill(errors.New("cluster: connection killed"))
+	}
 }
 
-// Close drops all pooled connections and stops pooling new ones.
+// Close drops all connections and stops pooling new ones.
 func (t *TCPTransport) Close() {
 	t.mu.Lock()
 	t.closed = true

@@ -321,10 +321,11 @@ func TestWireErrorCodec(t *testing.T) {
 	}
 }
 
-// The per-peer pool must stay bounded no matter how many concurrent calls
-// complete and try to return their connections.
+// The legacy per-peer pool must stay bounded no matter how many concurrent
+// calls complete and try to return their connections. (The default binary
+// protocol multiplexes one connection per peer and never pools.)
 func TestTCPPoolIsCapped(t *testing.T) {
-	_, tr := startTCPPair(t)
+	_, tr := startTCPPairMode(t, WithLegacyWire())
 	var wg sync.WaitGroup
 	for i := 0; i < 4*maxIdleConnsPerPeer; i++ {
 		wg.Add(1)

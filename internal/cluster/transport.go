@@ -64,10 +64,24 @@ type Reply struct {
 	Err  error
 }
 
+// MultiCaller is the optional fan-out fast path: a transport that can send
+// one request to many nodes more cheaply than n independent Calls (the TCP
+// transport serializes the request once and writes the frames to every
+// peer's multiplexed connection). Multicast uses it when available.
+// Decorators deliberately do not implement it, so a decorated transport
+// falls back to per-call delivery and every call still passes through the
+// decorator's injection/retry logic.
+type MultiCaller interface {
+	CallMany(ctx context.Context, from proto.NodeID, nodes []proto.NodeID, req any) []Reply
+}
+
 // Multicast sends req to every node in nodes in parallel and collects all
 // replies. The quorum protocols need every reply (reads pick the highest
 // version; commits need unanimity), so Multicast always waits for all legs.
 func Multicast(ctx context.Context, t Transport, from proto.NodeID, nodes []proto.NodeID, req any) []Reply {
+	if mc, ok := t.(MultiCaller); ok {
+		return mc.CallMany(ctx, from, nodes, req)
+	}
 	return MulticastEach(ctx, t, from, nodes, func(proto.NodeID) any { return req })
 }
 

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"qrdtm/internal/proto"
+)
+
+// This file defines the pipelined binary framing protocol the TCP transport
+// speaks by default, replacing the one-call-at-a-time gob loop.
+//
+// A connection opens with a 4-byte magic so a single TCPServer can serve both
+// protocols: binary clients send {0x80,'Q','W',version}, and 0x80 can never
+// open a gob stream (a gob stream's first byte is a type id or byte count in
+// [0x00,0x7F] ∪ [0xF8,0xFF]), so the server sniffs one byte and picks the
+// codec. Legacy gob clients keep working unchanged.
+//
+// After the magic, both directions carry frames:
+//
+//	u32 BE  payload length (everything after this field)
+//	u64 BE  request id (echoed verbatim in the reply)
+//	u8      frame kind (frameReq / frameRep)
+//	...     kind-specific body
+//
+// Request body:  varint from-node, then one encoded message.
+// Reply body:    u8 status (statusOK + message, or statusErr + uvarint error
+//	flags + error text).
+//
+// Messages encode as a 1-byte encoding tag followed by the payload: encBinary
+// is the hand-rolled proto codec (hot-path messages), encGob is a
+// self-contained gob blob for anything the codec does not cover. Each gob
+// blob carries its own stream preamble because frames from different calls
+// interleave on the multiplexed connection — gob's stream statefulness cannot
+// be shared across concurrently pipelined calls.
+//
+// The request id lets many calls be in flight on one connection per peer: a
+// demux goroutine on the client routes each reply frame to the waiting caller
+// by id, and ids with no waiter (the caller gave up on its context) are
+// dropped on the floor, leaving the connection healthy.
+
+// wireMagic opens every binary-protocol connection.
+var wireMagic = [4]byte{0x80, 'Q', 'W', 0x01}
+
+// Frame kinds.
+const (
+	frameReq byte = 1
+	frameRep byte = 2
+)
+
+// Reply statuses.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// Message encodings.
+const (
+	encBinary byte = 0 // proto.AppendWire / proto.DecodeWire
+	encGob    byte = 1 // self-contained gob blob of an interface value
+)
+
+// maxFramePayload caps a frame's payload so a corrupt or hostile length
+// prefix cannot drive an unbounded allocation.
+const maxFramePayload = 64 << 20
+
+var errFrameTooLarge = errors.New("cluster: wire frame exceeds size cap")
+
+// frameBufPool recycles encode/decode scratch buffers across calls; the
+// codec copies all decoded strings and byte slices, so a buffer can be
+// reused the moment the frame has been written or decoded.
+var frameBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+func getFrameBuf() *[]byte  { return frameBufPool.Get().(*[]byte) }
+func putFrameBuf(b *[]byte) { *b = (*b)[:0]; frameBufPool.Put(b) }
+
+// appendMessage appends the 1-byte encoding tag plus the encoded message:
+// the binary codec when it covers the type, a gob blob otherwise.
+func appendMessage(buf []byte, msg any) ([]byte, error) {
+	if out, ok := proto.AppendWire(append(buf, encBinary), msg); ok {
+		return out, nil
+	}
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(&msg); err != nil {
+		return buf, fmt.Errorf("cluster: gob-encode %T: %w", msg, err)
+	}
+	return append(append(buf, encGob), blob.Bytes()...), nil
+}
+
+// decodeMessage reverses appendMessage.
+func decodeMessage(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, errors.New("cluster: empty wire message")
+	}
+	switch b[0] {
+	case encBinary:
+		return proto.DecodeWire(b[1:])
+	case encGob:
+		var msg any
+		if err := gob.NewDecoder(bytes.NewReader(b[1:])).Decode(&msg); err != nil {
+			return nil, fmt.Errorf("cluster: gob-decode wire message: %w", err)
+		}
+		return msg, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown wire encoding tag %#x", b[0])
+	}
+}
+
+// appendFrame appends one complete frame — length prefix, request id, frame
+// kind, body — to buf.
+func appendFrame(buf []byte, id uint64, kind byte, body []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(8+1+len(body)))
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	buf = append(buf, kind)
+	return append(buf, body...)
+}
+
+// appendRequestBody appends a request frame's body: the sender's node id,
+// then the encoded message.
+func appendRequestBody(buf []byte, from proto.NodeID, req any) ([]byte, error) {
+	buf = binary.AppendVarint(buf, int64(from))
+	return appendMessage(buf, req)
+}
+
+// decodeRequestBody reverses appendRequestBody.
+func decodeRequestBody(b []byte) (proto.NodeID, any, error) {
+	from, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("cluster: corrupt request frame")
+	}
+	msg, err := decodeMessage(b[n:])
+	return proto.NodeID(from), msg, err
+}
+
+// readFrame reads one frame's payload into buf (growing it as needed) and
+// returns the filled slice, which aliases buf's backing array.
+func readFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFramePayload {
+		return nil, errFrameTooLarge
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Wire error flags: a bitmask, not an enum, because errors.Join-ed faults
+// carry several sentinel identities at once (get joins ErrNodeDown AND
+// ErrTransient) and collapsing them to one code would strip the transient
+// tag from remote-originated faults. Every matching bit is set on encode and
+// every set bit is restored as a wrapped sentinel on decode, so errors.Is
+// agrees on both ends of the connection.
+const (
+	wireFlagPanic uint64 = 1 << iota
+	wireFlagNodeDown
+	wireFlagTransient
+	wireFlagCanceled
+	wireFlagDeadline
+)
+
+// wireSentinels orders the flag↔sentinel mapping; encode and decode both
+// walk it so the two directions cannot drift apart.
+var wireSentinels = []struct {
+	flag uint64
+	err  error
+}{
+	{wireFlagPanic, ErrRemotePanic},
+	{wireFlagNodeDown, ErrNodeDown},
+	{wireFlagTransient, ErrTransient},
+	{wireFlagCanceled, context.Canceled},
+	{wireFlagDeadline, context.DeadlineExceeded},
+}
+
+// encodeWireError maps an error to its wire flags and text. A nil error is
+// (0, ""); a non-nil error with no recognised sentinel is (0, text) — the
+// text alone distinguishes it from success on the decode side.
+func encodeWireError(err error) (uint64, string) {
+	if err == nil {
+		return 0, ""
+	}
+	var flags uint64
+	for _, s := range wireSentinels {
+		if errors.Is(err, s.err) {
+			flags |= s.flag
+		}
+	}
+	msg := err.Error()
+	if msg == "" {
+		msg = "cluster: remote error"
+	}
+	return flags, msg
+}
+
+// decodeWireError reconstructs the error for wire flags and text, restoring
+// every sentinel identity so errors.Is works on the caller's side.
+func decodeWireError(flags uint64, msg string) error {
+	if flags == 0 && msg == "" {
+		return nil
+	}
+	var sents []error
+	for _, s := range wireSentinels {
+		if flags&s.flag != 0 {
+			sents = append(sents, s.err)
+		}
+	}
+	if len(sents) == 0 {
+		return errors.New(msg)
+	}
+	return &wireError{msg: msg, sents: sents}
+}
+
+// wireError is a remote error whose sentinel identities survived the wire.
+// Unwrap returns all of them, so errors.Is matches each (multi-sentinel
+// faults like ErrNodeDown+ErrTransient keep both marks).
+type wireError struct {
+	msg   string
+	sents []error
+}
+
+func (e *wireError) Error() string   { return e.msg }
+func (e *wireError) Unwrap() []error { return e.sents }
+
+// appendReply appends a reply frame payload (after the id+kind header):
+// the status byte, then either the encoded response or the encoded error.
+func appendReply(buf []byte, resp any, err error) ([]byte, error) {
+	if err == nil {
+		buf = append(buf, statusOK)
+		return appendMessage(buf, resp)
+	}
+	flags, msg := encodeWireError(err)
+	buf = append(buf, statusErr)
+	buf = binary.AppendUvarint(buf, flags)
+	return append(buf, msg...), nil
+}
+
+// decodeReply reverses appendReply.
+func decodeReply(b []byte) (any, error) {
+	if len(b) == 0 {
+		return nil, errors.New("cluster: empty reply frame")
+	}
+	switch b[0] {
+	case statusOK:
+		return decodeMessage(b[1:])
+	case statusErr:
+		flags, n := binary.Uvarint(b[1:])
+		if n <= 0 {
+			return nil, errors.New("cluster: corrupt reply error flags")
+		}
+		err := decodeWireError(flags, string(b[1+n:]))
+		if err == nil {
+			err = errors.New("cluster: remote error")
+		}
+		return nil, err
+	default:
+		return nil, fmt.Errorf("cluster: unknown reply status %#x", b[0])
+	}
+}

@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"time"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
+	"qrdtm/internal/proto"
+	"qrdtm/internal/quorum"
+	"qrdtm/internal/server"
+)
+
+// BenchWirePath is where the Wire experiment writes its machine-readable
+// output ("" disables the file; cmd/qr-bench exposes it as -wire-out).
+var BenchWirePath = "BENCH_wire.json"
+
+// wireRecord is one cell's row in BENCH_wire.json: the bank-transfer
+// workload over a real localhost TCP cluster on one wire protocol.
+type wireRecord struct {
+	Wire        string  `json:"wire"` // "binary" (pipelined frames) or "gob" (legacy per-call loop)
+	Nodes       int     `json:"nodes"`
+	Clients     int     `json:"clients"`
+	Txns        int     `json:"txns_per_client"`
+	Commits     uint64  `json:"commits"`
+	Throughput  float64 `json:"txn_per_sec"`
+	MsgsPerTxn  float64 `json:"msgs_per_txn"`
+	BytesPerTxn float64 `json:"bytes_per_txn"`
+	CommitP50Ms float64 `json:"commit_p50_ms"`
+	CommitP99Ms float64 `json:"commit_p99_ms"`
+	TxnP99Ms    float64 `json:"txn_p99_ms"`
+	Verified    bool    `json:"verified"` // conservation oracle held after the run
+}
+
+// Wire prices the pipelined binary wire protocol against the legacy
+// one-call-per-connection gob loop. Unlike the simulator experiments it
+// runs over real TCP: a cluster of localhost listeners, the full
+// transaction engine on top, the same seeded transfer workload on both
+// cells. Only the transport construction differs (WithLegacyWire or not),
+// so throughput, messages and bytes per committed transaction, and the
+// commit round-trip tail are an apples-to-apples A/B. Both cells must end
+// balance-conserving — savings are only reported at equal correctness.
+func Wire(ctx context.Context, s Scale) ([]Table, error) {
+	t := Table{
+		ID:     "wire",
+		Title:  "pipelined binary wire protocol vs legacy gob loop (real TCP)",
+		Header: []string{"wire", "clients", "txn/s", "msgs/txn", "bytes/txn", "commit p50 ms", "commit p99 ms", "txn p99 ms", "verified"},
+	}
+	var records []wireRecord
+	for _, legacy := range []bool{true, false} {
+		rec, err := runWireCell(ctx, s, legacy)
+		if err != nil {
+			return nil, fmt.Errorf("wire legacy=%v: %w", legacy, err)
+		}
+		records = append(records, rec)
+		t.Rows = append(t.Rows, []string{
+			rec.Wire, fmt.Sprint(rec.Clients),
+			f1(rec.Throughput), f1(rec.MsgsPerTxn), f0(rec.BytesPerTxn),
+			fmt.Sprintf("%.2f", rec.CommitP50Ms), fmt.Sprintf("%.2f", rec.CommitP99Ms),
+			fmt.Sprintf("%.2f", rec.TxnP99Ms),
+			fmt.Sprint(rec.Verified),
+		})
+	}
+	if BenchWirePath != "" {
+		b, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("wire: encoding %s: %w", BenchWirePath, err)
+		}
+		if err := os.WriteFile(BenchWirePath, append(b, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("wire: writing %s: %w", BenchWirePath, err)
+		}
+	}
+	return []Table{t}, nil
+}
+
+// runWireCell runs one A/B cell: an n-node localhost TCP cluster, Scale's
+// client count running the transfer workload to completion, counters and
+// latency tails read off the one transport all clients share.
+func runWireCell(ctx context.Context, s Scale, legacy bool) (wireRecord, error) {
+	const initBalance = 100
+	nodes, clients, txns := s.Nodes, s.Clients, s.Txns
+	accounts := 2 * clients
+
+	replicas := make([]*server.Replica, nodes)
+	servers := make([]*cluster.TCPServer, nodes)
+	peers := make(map[proto.NodeID]string, nodes)
+	defer func() {
+		for _, srv := range servers {
+			if srv != nil {
+				_ = srv.Close()
+			}
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		replicas[i] = server.New(proto.NodeID(i))
+		srv, err := cluster.ListenTCP(proto.NodeID(i), "127.0.0.1:0", replicas[i].Handle)
+		if err != nil {
+			return wireRecord{}, fmt.Errorf("listen node %d: %w", i, err)
+		}
+		servers[i] = srv
+		peers[proto.NodeID(i)] = srv.Addr()
+	}
+	var opts []cluster.TCPOption
+	wire := "binary"
+	if legacy {
+		opts = append(opts, cluster.WithLegacyWire())
+		wire = "gob"
+	}
+	tr := cluster.NewTCPTransport(peers, opts...)
+	defer tr.Close()
+
+	copies := make([]proto.ObjectCopy, accounts)
+	for i := range copies {
+		copies[i] = proto.ObjectCopy{
+			ID: proto.ObjectID(fmt.Sprintf("acct/%d", i)), Version: 1, Val: proto.Int64(initBalance),
+		}
+	}
+	for _, r := range replicas {
+		r.Store().Load(copies)
+	}
+
+	tree := quorum.NewTree(nodes)
+	ids := core.NewIDGen()
+	reg := obs.NewRegistry()
+	metrics := &core.Metrics{}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rt, err := core.NewRuntime(core.Config{
+				Node:      proto.NodeID(c % nodes),
+				Transport: tr,
+				Quorums:   core.TreeQuorums{Tree: tree},
+				Mode:      core.Closed,
+				IDs:       ids,
+				Metrics:   metrics,
+				Obs:       reg,
+			})
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			rng := rand.New(rand.NewPCG(s.Seed, uint64(c)))
+			for i := 0; i < txns; i++ {
+				from := proto.ObjectID(fmt.Sprintf("acct/%d", rng.IntN(accounts)))
+				to := proto.ObjectID(fmt.Sprintf("acct/%d", rng.IntN(accounts)))
+				if from == to {
+					continue
+				}
+				err := rt.Atomic(ctx, func(tx *core.Txn) error {
+					fv, err := tx.Read(from)
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(to)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(from, proto.Int64(int64(fv.(proto.Int64))-1)); err != nil {
+						return err
+					}
+					return tx.Write(to, proto.Int64(int64(tv.(proto.Int64))+1))
+				})
+				if err != nil {
+					errs[c] = fmt.Errorf("client %d txn %d: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return wireRecord{}, err
+		}
+	}
+
+	// Conservation oracle: resolve each account through the highest version
+	// any replica holds; the sum must be exactly the initial total.
+	total := int64(0)
+	for i := 0; i < accounts; i++ {
+		var best proto.ObjectCopy
+		for _, r := range replicas {
+			if cp, ok := r.Store().Get(proto.ObjectID(fmt.Sprintf("acct/%d", i))); ok && cp.Version >= best.Version {
+				best = cp
+			}
+		}
+		total += int64(best.Val.(proto.Int64))
+	}
+	verified := total == int64(accounts*initBalance)
+	if !verified {
+		return wireRecord{}, fmt.Errorf("conservation violated: total = %d, want %d", total, accounts*initBalance)
+	}
+
+	snap := reg.Snapshot()
+	commit := snap.Hists[obs.SiteCommitRTT].Stats()
+	txnLat := snap.Hists[obs.SiteTxnLatency].Stats()
+	stats := tr.Stats()
+	// Committed root transactions, not commit attempts (the RTT histogram
+	// also samples attempts that aborted at prepare). Both cells run the
+	// same seeded workload to completion, so this count is identical across
+	// the A/B — the savings are priced at equal verified work.
+	commits := metrics.Commits.Load()
+	perTxn := func(v uint64) float64 {
+		if commits == 0 {
+			return 0
+		}
+		return float64(v) / float64(commits)
+	}
+	return wireRecord{
+		Wire:        wire,
+		Nodes:       nodes,
+		Clients:     clients,
+		Txns:        txns,
+		Commits:     commits,
+		Throughput:  float64(commits) / elapsed.Seconds(),
+		MsgsPerTxn:  perTxn(stats.Messages),
+		BytesPerTxn: perTxn(stats.Bytes),
+		CommitP50Ms: commit.P50Ms,
+		CommitP99Ms: commit.P99Ms,
+		TxnP99Ms:    txnLat.P99Ms,
+		Verified:    verified,
+	}, nil
+}

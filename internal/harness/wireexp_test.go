@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWireExperiment runs the wire-protocol A/B at a small scale over real
+// localhost TCP and pins its acceptance property: the binary framing must
+// move fewer payload bytes per committed transaction than the legacy gob
+// loop, at equal verified correctness (both cells must pass the
+// conservation oracle — a violation is an experiment error, not a row).
+func TestWireExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	old := BenchWirePath
+	BenchWirePath = filepath.Join(t.TempDir(), "wire.json")
+	defer func() { BenchWirePath = old }()
+
+	s := QuickScale()
+	s.Clients, s.Txns, s.Nodes = 3, 8, 4
+	tables, err := Wire(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2 {
+		t.Fatalf("tables = %+v", tables)
+	}
+
+	b, err := os.ReadFile(BenchWirePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []wireRecord
+	if err := json.Unmarshal(b, &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %+v", records)
+	}
+	byWire := map[string]wireRecord{}
+	for _, r := range records {
+		if !r.Verified {
+			t.Fatalf("cell %q not verified: %+v", r.Wire, r)
+		}
+		if r.Commits == 0 {
+			t.Fatalf("cell %q committed nothing: %+v", r.Wire, r)
+		}
+		byWire[r.Wire] = r
+	}
+	gob, binary := byWire["gob"], byWire["binary"]
+	if gob.Wire == "" || binary.Wire == "" {
+		t.Fatalf("missing cells: %+v", records)
+	}
+	if binary.BytesPerTxn >= gob.BytesPerTxn {
+		t.Fatalf("binary wire must cut bytes/txn: binary=%.0f gob=%.0f",
+			binary.BytesPerTxn, gob.BytesPerTxn)
+	}
+}

@@ -162,6 +162,41 @@ type (
 // RegisterValue registers a Value implementation for the TCP transport.
 func RegisterValue(v Value) { proto.RegisterValue(v) }
 
+// Real-TCP deployment re-exports (see internal/cluster and DESIGN.md §11):
+// ListenTCP serves a replica, NewTCPTransport connects a client to the
+// cluster. By default the transport speaks the pipelined binary wire
+// protocol (many concurrent calls multiplexed over one connection per
+// peer); WithLegacyWire reverts it to the original one-call-at-a-time gob
+// loop for A/B comparison. Servers answer both protocols, sniffing each
+// connection's first byte.
+type (
+	// TCPTransport is the client side of a real TCP deployment.
+	TCPTransport = cluster.TCPTransport
+	// TCPServer serves one replica's handler over TCP.
+	TCPServer = cluster.TCPServer
+	// TCPOption configures NewTCPTransport.
+	TCPOption = cluster.TCPOption
+)
+
+// NewTCPTransport connects to the peers (node id → address); opts tune the
+// wire protocol (WithLegacyWire) and dialing (WithDialTimeout).
+func NewTCPTransport(peers map[NodeID]string, opts ...TCPOption) *TCPTransport {
+	return cluster.NewTCPTransport(peers, opts...)
+}
+
+// WithLegacyWire makes the transport speak the pre-pipelining gob protocol.
+func WithLegacyWire() TCPOption { return cluster.WithLegacyWire() }
+
+// WithDialTimeout bounds connection establishment (the caller's context
+// still applies; the shorter of the two wins).
+func WithDialTimeout(d time.Duration) TCPOption { return cluster.WithDialTimeout(d) }
+
+// ListenTCP starts a TCP server for node id on addr ("host:0" picks a free
+// port) serving h — typically a replica's Handle method.
+func ListenTCP(id NodeID, addr string, h func(from NodeID, req any) any) (*TCPServer, error) {
+	return cluster.ListenTCP(id, addr, h)
+}
+
 // Composition sentinels (see Txn.OrElse and Txn.Open).
 var (
 	// ErrBranchFailed makes an OrElse branch fall through to the next.
