@@ -35,12 +35,14 @@ func main() {
 	traceOut := flag.String("trace-out", harness.TracePath, "output path for the trace experiment's Chrome trace-event JSON (empty disables)")
 	batchOut := flag.String("batch-out", harness.BenchBatchPath, "output path for the batch experiment's JSON (empty disables)")
 	wireOut := flag.String("wire-out", harness.BenchWirePath, "output path for the wire experiment's JSON (empty disables)")
+	shardOut := flag.String("shard-out", harness.BenchShardPath, "output path for the shard experiment's JSON (empty disables)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	harness.BenchObsPath = *obsOut
 	harness.TracePath = *traceOut
 	harness.BenchBatchPath = *batchOut
 	harness.BenchWirePath = *wireOut
+	harness.BenchShardPath = *shardOut
 
 	if *list {
 		for _, id := range harness.ExperimentOrder {

@@ -13,6 +13,11 @@
 //
 //	qr-node -client -peers 127.0.0.1:7400,127.0.0.1:7401,127.0.0.1:7402,127.0.0.1:7403
 //
+// Pass -shards N in client mode to partition the object space into N quorum
+// groups: the client installs the shard map on every replica (replicas serve
+// whatever map they are handed) and commits cross-shard transactions with
+// 2PC over the union of per-shard write quorums.
+//
 // Either mode takes -admin addr to expose a live-inspection HTTP surface
 // (JSON metrics, liveness, profiling):
 //
@@ -54,10 +59,11 @@ func main() {
 	trace := flag.Bool("trace", false, "record causal spans into a ring buffer (served at /trace and to TraceDump requests)")
 	traceOut := flag.String("trace-out", "", "client mode: collect spans from every replica after the run and write Chrome trace-event JSON here (implies tracing)")
 	legacyWire := flag.Bool("legacy-wire", false, "client mode: speak the legacy one-call-per-connection gob protocol instead of pipelined binary frames (servers accept both)")
+	shards := flag.Int("shards", 0, "client mode: partition the object space into this many quorum groups (0/1 = one tree over all replicas)")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire, *shards); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -118,7 +124,7 @@ func parseMode(s string) (core.Mode, error) {
 // traceRingSize holds roughly a thousand demo transactions' worth of spans.
 const traceRingSize = 1 << 16
 
-func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool) error {
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool, shards int) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -144,18 +150,39 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 		MaxAttempts: retries,
 		CallTimeout: callTimeout,
 	})
-	tree := quorum.NewTree(len(addrs))
 	reg := obs.NewRegistry()
 	if traceOut != "" {
 		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
 	}
-	rt, err := core.NewRuntime(core.Config{
+	cfg := core.Config{
 		Node:      proto.NodeID(0),
 		Transport: trans,
-		Quorums:   core.TreeQuorums{Tree: tree},
 		Mode:      mode,
 		Obs:       reg,
-	})
+	}
+	if shards > 1 {
+		// Stand in for the reconfiguration controller: install the partition
+		// on every replica (replicas serve whatever map they're handed), then
+		// route through per-shard quorum groups, refetching the map from the
+		// cluster whenever a replica denies an op with WrongShard.
+		all := make([]proto.NodeID, len(addrs))
+		for i := range all {
+			all[i] = proto.NodeID(i)
+		}
+		m := proto.PartitionMap(all, shards)
+		for _, rep := range cluster.Multicast(context.Background(), trans, 0, all, proto.MapUpdateReq{Map: m}) {
+			if rep.Err != nil {
+				return fmt.Errorf("installing shard map at node %d: %w", rep.Node, rep.Err)
+			}
+		}
+		log.Printf("installed shard map: %d shards over %d replicas (epoch %d)", shards, len(addrs), m.Epoch)
+		cfg.Shards = core.TreeShardQuorums{Map: func() (proto.ShardMap, error) {
+			return core.FetchShardMap(context.Background(), trans, 0, all)
+		}}
+	} else {
+		cfg.Quorums = core.TreeQuorums{Tree: quorum.NewTree(len(addrs))}
+	}
+	rt, err := core.NewRuntime(cfg)
 	if err != nil {
 		return err
 	}

@@ -115,6 +115,19 @@ type QuorumProvider interface {
 	Quorums(node proto.NodeID) (read, write []proto.NodeID, err error)
 }
 
+// ShardProvider generalizes QuorumProvider to a sharded object space: it
+// yields the current placement map plus independent per-shard quorums.
+// Runtimes re-query it both when a quorum member stops responding and when a
+// replica answers WrongShard (the client's map is stale — a reconfiguration
+// moved slots since it last looked).
+type ShardProvider interface {
+	// ShardMap returns the current placement.
+	ShardMap() (proto.ShardMap, error)
+	// ShardQuorums resolves the read and write quorums of one shard for the
+	// given client node.
+	ShardQuorums(node proto.NodeID, spec proto.ShardSpec) (read, write []proto.NodeID, err error)
+}
+
 // StaticQuorums is a QuorumProvider with fixed quorums (single-node tests
 // and tooling).
 type StaticQuorums struct {
@@ -134,8 +147,15 @@ type Config struct {
 	// Transport reaches the replicas.
 	Transport cluster.Transport
 	// Quorums provides (and re-provides, after failures) this node's
-	// designated quorums.
+	// designated quorums. Required unless Shards is set.
 	Quorums QuorumProvider
+	// Shards, when non-nil, routes each object to its quorum group through a
+	// versioned shard map instead of the single cluster-wide quorum pair:
+	// reads go to the owning shard's read quorum, commits run two-phase
+	// commit over the union of the touched shards' write quorums, and
+	// WrongShard denials trigger a map refresh + retry. When set, Quorums is
+	// ignored.
+	Shards ShardProvider
 	// Mode selects the protocol (default Flat).
 	Mode Mode
 	// IDs allocates transaction ids; defaults to a fresh generator. Share
@@ -188,6 +208,7 @@ type Runtime struct {
 	node    proto.NodeID
 	trans   cluster.Transport
 	qp      QuorumProvider
+	sp      ShardProvider // nil: unsharded, qp routes everything
 	mode    Mode
 	ids     *IDGen
 	metrics *Metrics
@@ -206,6 +227,11 @@ type Runtime struct {
 	mu     sync.RWMutex
 	readQ  []proto.NodeID
 	writeQ []proto.NodeID
+	// Sharded routing state (empty when sp == nil). readQ/writeQ then cache
+	// shard 0's quorums so size reporting keeps working.
+	smap   proto.ShardMap
+	shardR map[proto.ShardID][]proto.NodeID
+	shardW map[proto.ShardID][]proto.NodeID
 }
 
 // NewRuntime builds a Runtime and resolves its initial quorums.
@@ -213,13 +239,14 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("core: Config.Transport is required")
 	}
-	if cfg.Quorums == nil {
-		return nil, errors.New("core: Config.Quorums is required")
+	if cfg.Quorums == nil && cfg.Shards == nil {
+		return nil, errors.New("core: Config.Quorums or Config.Shards is required")
 	}
 	rt := &Runtime{
 		node:        cfg.Node,
 		trans:       cfg.Transport,
 		qp:          cfg.Quorums,
+		sp:          cfg.Shards,
 		mode:        cfg.Mode,
 		ids:         cfg.IDs,
 		metrics:     cfg.Metrics,
@@ -265,9 +292,17 @@ func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
 // Obs returns the runtime's observability registry (nil when disabled).
 func (rt *Runtime) Obs() *obs.Registry { return rt.obs }
 
-// RefreshQuorums re-queries the QuorumProvider, replacing the cached
-// quorums. It is called automatically when a quorum member stops responding.
+// RefreshQuorums re-queries the provider, replacing the cached quorums. It
+// is called automatically when a quorum member stops responding and — in
+// sharded mode, where it also refetches the shard map — when a replica
+// answers WrongShard. Bumping viewEpoch invalidates every outstanding
+// delta-Rqv watermark, which is exactly right: after either kind of
+// reconfiguration the old validation sessions may be split across different
+// member sets.
 func (rt *Runtime) RefreshQuorums() error {
+	if rt.sp != nil {
+		return rt.refreshShards()
+	}
 	r, w, err := rt.qp.Quorums(rt.node)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrUnavailable, err)
@@ -278,6 +313,70 @@ func (rt *Runtime) RefreshQuorums() error {
 	rt.mu.Unlock()
 	rt.viewEpoch.Add(1)
 	return nil
+}
+
+// refreshShards refetches the shard map and re-resolves every shard's
+// quorums.
+func (rt *Runtime) refreshShards() error {
+	m, err := rt.sp.ShardMap()
+	if err != nil {
+		return fmt.Errorf("%w: shard map: %v", ErrUnavailable, err)
+	}
+	if !m.Sharded() {
+		return fmt.Errorf("%w: shard provider returned an unsharded map", ErrUnavailable)
+	}
+	shardR := make(map[proto.ShardID][]proto.NodeID, len(m.Shards))
+	shardW := make(map[proto.ShardID][]proto.NodeID, len(m.Shards))
+	for _, spec := range m.Shards {
+		r, w, err := rt.sp.ShardQuorums(rt.node, spec)
+		if err != nil {
+			return fmt.Errorf("%w: shard %d: %v", ErrUnavailable, spec.ID, err)
+		}
+		shardR[spec.ID] = append([]proto.NodeID(nil), r...)
+		shardW[spec.ID] = append([]proto.NodeID(nil), w...)
+	}
+	rt.mu.Lock()
+	rt.smap = m
+	rt.shardR = shardR
+	rt.shardW = shardW
+	rt.readQ = shardR[m.Shards[0].ID]
+	rt.writeQ = shardW[m.Shards[0].ID]
+	rt.mu.Unlock()
+	rt.viewEpoch.Add(1)
+	return nil
+}
+
+// Sharded reports whether this runtime routes through a shard map.
+func (rt *Runtime) Sharded() bool { return rt.sp != nil }
+
+// ShardMap returns a copy of the runtime's current placement map (zero when
+// unsharded).
+func (rt *Runtime) ShardMap() proto.ShardMap {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.smap
+}
+
+// shardFor routes an object to its shard under the cached map (always 0 when
+// unsharded).
+func (rt *Runtime) shardFor(obj proto.ObjectID) proto.ShardID {
+	if rt.sp == nil {
+		return 0
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.smap.ShardFor(obj)
+}
+
+// shardQuorums returns the cached quorums for one shard. In unsharded mode
+// every shard id maps to the single cluster-wide pair.
+func (rt *Runtime) shardQuorums(s proto.ShardID) (read, write []proto.NodeID) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.sp == nil {
+		return rt.readQ, rt.writeQ
+	}
+	return rt.shardR[s], rt.shardW[s]
 }
 
 // ViewEpoch counts how many times this runtime has (re)resolved its quorums:

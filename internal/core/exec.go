@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
 	"qrdtm/internal/cluster"
@@ -131,19 +132,49 @@ var errZombie = errors.New("core: zombie transaction (inconsistent snapshot)")
 
 // snapshotStale asks the read quorum to validate the transaction's
 // footprint without fetching anything. It reports true — abort and retry —
-// when the footprint is stale or the quorum is unreachable.
+// when the footprint is stale or the quorum is unreachable. On a sharded
+// runtime every touched shard validates its own slice of the footprint
+// against its own read quorum; a probe that lands on the wrong shard (stale
+// map or migration fence) counts as stale after refreshing the map, so the
+// retry re-routes.
 func (tx *Txn) snapshotStale() bool {
-	readQ, _ := tx.rt.quorums()
+	items := tx.dataSet()
+	if !tx.rt.Sharded() {
+		return tx.shardStale(0, items)
+	}
+	if len(items) == 0 {
+		return false // nothing read, nothing to be stale about
+	}
+	groups := make(map[proto.ShardID][]proto.DataItem)
+	for _, it := range items {
+		s := tx.rt.shardFor(it.ID)
+		groups[s] = append(groups[s], it)
+	}
+	for s, its := range groups {
+		if tx.shardStale(s, its) {
+			return true
+		}
+	}
+	return false
+}
+
+// shardStale is one validation-only probe of items against shard's read
+// quorum (shard 0 doubles as "the" quorum on unsharded runtimes).
+func (tx *Txn) shardStale(shard proto.ShardID, items []proto.DataItem) bool {
+	readQ, _ := tx.rt.shardQuorums(shard)
 	if len(readQ) == 0 {
 		return true
 	}
-	req := proto.ReadReq{Txn: tx.id, Depth: tx.depth, DataSet: tx.dataSet()}
+	req := proto.ReadReq{Txn: tx.id, Depth: tx.depth, DataSet: items}
 	if req.DataSet == nil {
 		req.DataSet = []proto.DataItem{}
 	}
 	sp := tx.rt.obs.StartSpan(proto.SpanRead, tx.rt.node, tx.tc)
 	sp.SetTxn(tx.id)
 	sp.SetNote("revalidate")
+	if tx.rt.Sharded() {
+		sp.SetShard(shard)
+	}
 	req.TC = sp.Context()
 	defer sp.End()
 	tx.rt.metrics.ReadRequests.Add(1)
@@ -154,7 +185,14 @@ func (tx *Txn) snapshotStale() bool {
 		if rep.Err != nil {
 			return true
 		}
-		if rr, ok := rep.Resp.(proto.ReadRep); !ok || !rr.OK {
+		rr, ok := rep.Resp.(proto.ReadRep)
+		if !ok || !rr.OK {
+			if ok && rr.WrongShard {
+				// The probe asked the wrong home: refresh so the retry's
+				// probes regroup under the fresh map.
+				tx.rt.metrics.QuorumRefreshes.Add(1)
+				_ = tx.rt.RefreshQuorums()
+			}
 			return true
 		}
 	}
@@ -286,16 +324,86 @@ func (tx *Txn) commitRoot() error {
 	return tx.commit(nil, 0)
 }
 
+// commitPart is one shard's slice of a commit: the reads to validate, the
+// writes and abstract locks to prepare, and the write quorum that votes.
+// Unsharded commits are a single part over shard 0 — the classic protocol.
+type commitPart struct {
+	shard    proto.ShardID
+	reads    []proto.DataItem
+	writes   []proto.ObjectCopy
+	absLocks []string
+	writeQ   []proto.NodeID
+}
+
+// locked reports whether preparing this part takes locks that a decision
+// must later release.
+func (p *commitPart) locked() bool { return len(p.writes) > 0 || len(p.absLocks) > 0 }
+
+// commitParts splits the commit footprint by shard and resolves each
+// participant's write quorum. Abstract locks route by their name's slot,
+// like objects, so the same lock always serializes on the same shard.
+func (tx *Txn) commitParts(reads []proto.DataItem, writes []proto.ObjectCopy, absLocks []string) ([]*commitPart, error) {
+	var parts []*commitPart
+	index := make(map[proto.ShardID]*commitPart, 2)
+	part := func(s proto.ShardID) *commitPart {
+		p := index[s]
+		if p == nil {
+			p = &commitPart{shard: s}
+			index[s] = p
+			parts = append(parts, p)
+		}
+		return p
+	}
+	if !tx.rt.Sharded() {
+		p := part(0)
+		p.reads, p.writes, p.absLocks = reads, writes, absLocks
+	} else {
+		for _, r := range reads {
+			p := part(tx.rt.shardFor(r.ID))
+			p.reads = append(p.reads, r)
+		}
+		for _, w := range writes {
+			p := part(tx.rt.shardFor(w.ID))
+			p.writes = append(p.writes, w)
+		}
+		for _, l := range absLocks {
+			p := part(tx.rt.shardFor(proto.ObjectID(l)))
+			p.absLocks = append(p.absLocks, l)
+		}
+	}
+	for _, p := range parts {
+		_, wq := tx.rt.shardQuorums(p.shard)
+		if len(wq) == 0 {
+			return nil, fmt.Errorf("%w: empty write quorum for shard %d", ErrUnavailable, p.shard)
+		}
+		p.writeQ = wq
+	}
+	return parts, nil
+}
+
 // commit is commitRoot extended with abstract-lock acquisition (open
 // nesting): absLocks are granted to owner as part of the prepare votes.
+//
+// On a sharded runtime the commit is a two-phase commit over the union of
+// the touched shards' write quorums: prepare-all (every shard's write quorum
+// validates its slice of the reads and locks its slice of the writes), then
+// decide-all with the same outcome everywhere. Atomicity holds because no
+// shard installs anything until every shard has voted yes, and
+// serializability because an object unchanged at its validation time was
+// unchanged since it was read — so a unanimous prepare certifies the whole
+// footprint as simultaneously valid at the first prepare's validation time,
+// and the held locks pin that point until the decision lands.
 func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 	m := tx.rt.metrics
-	if len(absLocks) == 0 && len(tx.writeset) == 0 && tx.rt.mode == Closed {
+	if len(absLocks) == 0 && len(tx.writeset) == 0 && tx.rt.mode == Closed && !tx.crossShard() {
 		// Every read was validated by the last Rqv round, so the read set
 		// is a consistent snapshot: commit without any remote message.
 		// Only QR-CN gets this: the paper defines QR-CHK's request-commit
 		// and commit as "exactly the same as flat nested transaction", and
 		// the FlatRqv ablation isolates early aborts, not commit savings.
+		// Cross-shard footprints are excluded — the last Rqv round only
+		// certified the last-touched shard's slice, so they fall through to
+		// per-shard prepare (validation-only: no writes, no locks).
 		m.LocalCommits.Add(1)
 		return nil
 	}
@@ -312,62 +420,113 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		writes = append(writes, e.copyv.Clone())
 	}
 
-	_, writeQ := tx.rt.quorums()
-	if len(writeQ) == 0 {
-		return fmt.Errorf("%w: empty write quorum", ErrUnavailable)
+	parts, err := tx.commitParts(reads, writes, absLocks)
+	if err != nil {
+		return err
 	}
 	m.CommitRequests.Add(1)
-	// One commit span covers prepare through decide; both multicasts carry
-	// its context, so every write-quorum member's serve-prepare/serve-decide
-	// span links under it.
+	// One commit span covers prepare through decide; every multicast carries
+	// its context, so each participant's serve-prepare/serve-decide span
+	// links under it — the cross-shard atomicity checker groups them by
+	// shard tag and demands one outcome.
 	csp := tx.rt.obs.StartSpan(proto.SpanCommit, tx.rt.node, tx.tc)
 	csp.SetTxn(tx.id)
+	if tx.rt.Sharded() {
+		if len(parts) == 1 {
+			csp.SetShard(parts[0].shard)
+		} else {
+			csp.SetNote(fmt.Sprintf("shards=%d", len(parts)))
+		}
+	}
 	defer csp.End()
 	t0 := tx.rt.obs.Start()
 	defer tx.rt.obs.ObserveSince(obs.SiteCommitRTT, t0)
-	prep := proto.PrepareReq{Txn: tx.id, Reads: reads, Writes: writes, AbsLocks: absLocks, Owner: owner, TC: csp.Context()}
-	replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, writeQ, prep)
+
+	// Phase one: prepare every participant, in parallel so the commit
+	// latency is the slowest shard's round, not the sum.
+	results := make([][]cluster.Reply, len(parts))
+	forEachPart(parts, func(i int, p *commitPart) {
+		prep := proto.PrepareReq{Txn: tx.id, Reads: p.reads, Writes: p.writes, AbsLocks: p.absLocks, Owner: owner, TC: csp.Context()}
+		pt0 := tx.rt.obs.Start()
+		results[i] = cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, p.writeQ, prep)
+		if tx.rt.Sharded() {
+			tx.rt.obs.ShardObserveSince(p.shard, obs.SiteCommitRTT, pt0)
+		}
+	})
 
 	allOK := true
+	wrongShard := false
+	var badReply error
 	var callErr, cancelErr error
-	for _, rep := range replies {
-		if rep.Err != nil {
-			if isCtxErr(rep.Err) && tx.ctx.Err() != nil {
-				cancelErr = tx.ctx.Err()
-			} else {
-				callErr = rep.Err
+	for _, replies := range results {
+		for _, rep := range replies {
+			if rep.Err != nil {
+				if isCtxErr(rep.Err) && tx.ctx.Err() != nil {
+					cancelErr = tx.ctx.Err()
+				} else {
+					callErr = rep.Err
+				}
+				allOK = false
+				continue
 			}
-			allOK = false
-			continue
-		}
-		pr, ok := rep.Resp.(proto.PrepareRep)
-		if !ok {
-			return fmt.Errorf("core: unexpected prepare reply %T from %v", rep.Resp, rep.Node)
-		}
-		if !pr.OK {
-			allOK = false
+			pr, ok := rep.Resp.(proto.PrepareRep)
+			if !ok {
+				badReply = fmt.Errorf("core: unexpected prepare reply %T from %v", rep.Resp, rep.Node)
+				allOK = false
+				continue
+			}
+			if pr.WrongShard {
+				wrongShard = true
+			}
+			if !pr.OK {
+				allOK = false
+			}
 		}
 	}
 
 	if !allOK {
 		// Release any locks (object or abstract) taken by nodes that voted
-		// yes. Abort is idempotent and only releases this transaction's
-		// own acquisitions. The release must outlive a cancelled transaction
-		// context — leaked prepare locks would wedge every later writer of
-		// the same objects — so it runs under its own bounded context.
-		if len(writes) > 0 || len(absLocks) > 0 {
+		// yes — on every participant, since a no vote anywhere aborts the
+		// whole transaction. Abort is idempotent and only releases this
+		// transaction's own acquisitions. The release must outlive a
+		// cancelled transaction context — leaked prepare locks would wedge
+		// every later writer of the same objects — so it runs under its own
+		// bounded context.
+		if slices.ContainsFunc(parts, (*commitPart).locked) {
 			dctx, cancel := context.WithTimeout(context.WithoutCancel(tx.ctx), 2*time.Second)
-			dec := proto.DecideReq{Txn: tx.id, Commit: false, Writes: writes, TC: csp.Context()}
-			cluster.Multicast(dctx, tx.rt.trans, tx.rt.node, writeQ, dec)
+			forEachPart(parts, func(_ int, p *commitPart) {
+				if !p.locked() {
+					return
+				}
+				dec := proto.DecideReq{Txn: tx.id, Commit: false, Writes: p.writes, TC: csp.Context()}
+				cluster.Multicast(dctx, tx.rt.trans, tx.rt.node, p.writeQ, dec)
+			})
 			cancel()
+		}
+		if badReply != nil {
+			return badReply
 		}
 		if cancelErr != nil {
 			// The transaction's context ended; surface that instead of
 			// reconfiguring around a node that may be perfectly healthy.
 			return cancelErr
 		}
+		if tx.rt.Sharded() {
+			for _, p := range parts {
+				tx.rt.obs.ShardAbort(p.shard)
+			}
+		}
 		cause := obs.CauseCommitConflict
-		if callErr != nil {
+		switch {
+		case wrongShard:
+			// A participant is not (or no longer) the home of part of the
+			// footprint: refresh the map so the retry regroups and re-routes.
+			cause = obs.CauseWrongShard
+			m.QuorumRefreshes.Add(1)
+			if err := tx.rt.RefreshQuorums(); err != nil {
+				return err
+			}
+		case callErr != nil:
 			// A write-quorum member is down (the transport's retry budget,
 			// if any, is already spent): reconfigure before retrying.
 			cause = obs.CauseNodeDown
@@ -381,14 +540,28 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		throwAbort(0, proto.NoChk)
 	}
 
-	if len(writes) > 0 || len(absLocks) > 0 {
-		installed := make([]proto.ObjectCopy, len(writes))
-		for i, w := range writes {
+	// Phase two: every participant voted yes — decide commit everywhere,
+	// again in parallel across shards. The installed versions are stamped
+	// (and recorded on the commit span) before fanning out: the span is not
+	// goroutine-safe.
+	installs := make([][]proto.ObjectCopy, len(parts))
+	for i, p := range parts {
+		if !p.locked() {
+			continue
+		}
+		installed := make([]proto.ObjectCopy, len(p.writes))
+		for j, w := range p.writes {
 			w.Version++
-			installed[i] = w
+			installed[j] = w
 			csp.AddItem(w.ID, w.Version)
 		}
-		dec := proto.DecideReq{Txn: tx.id, Commit: true, Writes: installed, TC: csp.Context()}
+		installs[i] = installed
+	}
+	forEachPart(parts, func(i int, p *commitPart) {
+		if !p.locked() {
+			return
+		}
+		dec := proto.DecideReq{Txn: tx.id, Commit: true, Writes: installs[i], TC: csp.Context()}
 		// Members that crash between prepare and decide miss the install
 		// harmlessly (crash-stop), but a node that RECOVERED in that window
 		// must not: it may already serve in read quorums the prepared write
@@ -397,14 +570,38 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		// state (zero extra messages), wider only across a reconfiguration.
 		// Store.Commit is version-guarded and releases only this txn's
 		// locks, so members that never prepared apply it safely.
-		targets := writeQ
-		if _, cur := tx.rt.quorums(); len(cur) > 0 {
-			targets = unionNodes(writeQ, cur)
+		targets := p.writeQ
+		if _, cur := tx.rt.shardQuorums(p.shard); len(cur) > 0 {
+			targets = unionNodes(p.writeQ, cur)
 		}
 		cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, targets, dec)
+	})
+	if tx.rt.Sharded() {
+		for _, p := range parts {
+			tx.rt.obs.ShardCommit(p.shard)
+		}
 	}
 	csp.SetOK(true)
 	return nil
+}
+
+// forEachPart runs fn over the participants — inline for the common single
+// participant, concurrently otherwise (cross-shard commits pay one round of
+// latency, not one per shard).
+func forEachPart(parts []*commitPart, fn func(i int, p *commitPart)) {
+	if len(parts) == 1 {
+		fn(0, parts[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i, p)
+		}()
+	}
+	wg.Wait()
 }
 
 // unionNodes merges two quorums preserving a's order; b's extra members

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
 )
@@ -15,6 +17,44 @@ type TreeQuorums struct {
 	Tree   *quorum.Tree
 	Alive  quorum.Alive
 	Choice func(node proto.NodeID) int
+}
+
+// TreeShardQuorums is a ShardProvider running one independent quorum tree
+// per shard: each shard's Members list (in tree order) gets its own ternary
+// group, so the intersection property — and with it 1-copy equivalence —
+// holds within every shard while the shards stay mutually independent. Map
+// is the source of truth for placement: the sim cluster closes over its
+// in-memory map, TCP clients close over FetchShardMap.
+type TreeShardQuorums struct {
+	Map    func() (proto.ShardMap, error)
+	Alive  quorum.Alive
+	Choice func(node proto.NodeID) int
+}
+
+// ShardMap implements ShardProvider.
+func (t TreeShardQuorums) ShardMap() (proto.ShardMap, error) { return t.Map() }
+
+// ShardQuorums implements ShardProvider.
+func (t TreeShardQuorums) ShardQuorums(node proto.NodeID, spec proto.ShardSpec) ([]proto.NodeID, []proto.NodeID, error) {
+	if len(spec.Members) == 0 {
+		return nil, nil, fmt.Errorf("shard %d has no members", spec.ID)
+	}
+	g := quorum.NewGroup(spec.Members)
+	choice := 0
+	if t.Choice != nil {
+		choice = t.Choice(node)
+	}
+	r, err := g.ReadQuorumChoice(t.Alive, choice)
+	if err != nil {
+		return nil, nil, err
+	}
+	// As in TreeQuorums: write quorums always use the canonical construction
+	// so every client's write quorum pairwise-intersects within the shard.
+	w, err := g.WriteQuorum(t.Alive)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, w, nil
 }
 
 // Quorums implements QuorumProvider.

@@ -31,6 +31,44 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// errWrongShard reports that a quorum member rejected a round because some
+// requested object is not (or is no longer) homed on its shard — the client's
+// shard map is stale, or a migration is fencing the object. The caller
+// refreshes the map, regroups by the fresh placement, and retries.
+var errWrongShard = errors.New("core: wrong shard")
+
+// wrongShardRetries bounds how many refresh-and-retry rounds a request rides
+// out before giving up. Migrations fence reads at both ends until the
+// handover epoch, so the budget must outlast a slot drain (many round trips),
+// not just a single map push.
+const wrongShardRetries = 400
+
+// wrongShardPause paces wrong-shard retries: quick at first (a fresh map
+// lands in one round trip), backing off to a coarse poll while a migration
+// drains.
+func wrongShardPause(n int) time.Duration {
+	d := time.Duration(n/8+1) * time.Millisecond
+	if d > 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+// groupByShard partitions ids by their current shard, preserving first-seen
+// shard order so retries stay deterministic.
+func groupByShard(rt *Runtime, ids []proto.ObjectID) (map[proto.ShardID][]proto.ObjectID, []proto.ShardID) {
+	groups := make(map[proto.ShardID][]proto.ObjectID)
+	var order []proto.ShardID
+	for _, id := range ids {
+		s := rt.shardFor(id)
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], id)
+	}
+	return groups, order
+}
+
 // entry is one element of a transaction's read- or write-set: the acquired
 // copy plus the ownership metadata Rqv needs.
 type entry struct {
@@ -118,6 +156,33 @@ type Txn struct {
 	// Open-nesting support (root transactions only).
 	openCommits   []openRecord // committed open subtransactions of this attempt
 	holdsAbsLocks bool         // abstract locks held on this root's behalf
+
+	// Sharding support (root transactions; only populated on sharded
+	// runtimes). shards is the set of shards the footprint touches;
+	// shardDirty records a replica's advisory that some footprint item
+	// migrated away mid-transaction, so the replica skipped (not validated)
+	// it. Either condition — more than one shard, or dirty — forfeits the
+	// read-only local commit: the last Rqv round then certified only part of
+	// the footprint, and commit must validate per shard.
+	shards     map[proto.ShardID]struct{}
+	shardDirty bool
+}
+
+// noteShard records that the footprint touches shard s (sharded runtimes).
+func (tx *Txn) noteShard(s proto.ShardID) {
+	r := tx.root()
+	if r.shards == nil {
+		r.shards = make(map[proto.ShardID]struct{}, 2)
+	}
+	r.shards[s] = struct{}{}
+}
+
+// crossShard reports whether the read-only local commit is forfeit: the
+// footprint spans shards, or part of it migrated out from under its last
+// validation round.
+func (tx *Txn) crossShard() bool {
+	r := tx.root()
+	return r.shardDirty || len(r.shards) > 1
 }
 
 func newRootTxn(rt *Runtime, ctx context.Context) *Txn {
@@ -438,11 +503,15 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 
 	const quorumRetries = 3
 	lockWaits := 0
+	wrongShards := 0
 	for attempt := 0; ; attempt++ {
 		if err := tx.ctx.Err(); err != nil {
 			return nil, err
 		}
-		readQ, _ := tx.rt.quorums()
+		// Re-resolve the shard each attempt: a wrong-shard retry refreshed
+		// the map, which may have re-homed the object.
+		shard := tx.rt.shardFor(id)
+		readQ, _ := tx.rt.shardQuorums(shard)
 		if len(readQ) == 0 {
 			return nil, ErrUnavailable
 		}
@@ -454,6 +523,9 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 		sp.SetObj(id)
 		sp.SetDepth(tx.depth)
 		sp.SetChk(tx.ownerChkNow())
+		if tx.rt.Sharded() {
+			sp.SetShard(shard)
+		}
 		req.TC = sp.Context()
 		t0 := tx.rt.obs.Start()
 		replies := cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, readQ, req)
@@ -462,6 +534,7 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 		best := proto.ObjectCopy{ID: id}
 		abortDepth, abortChk := proto.NoDepth, proto.NoChk
 		denied := false
+		wrongShard := false
 		lockOnly := true
 		var callErr error
 		for _, rep := range replies {
@@ -480,6 +553,16 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			if !ok {
 				sp.End()
 				return nil, fmt.Errorf("core: unexpected read reply %T from %v", rep.Resp, rep.Node)
+			}
+			if rr.WrongShard {
+				if !rr.OK {
+					wrongShard = true
+					continue
+				}
+				// Advisory: a footprint item migrated away and this member
+				// skipped validating it — the round no longer certifies the
+				// whole footprint (see Txn.shardDirty).
+				tx.root().shardDirty = true
 			}
 			if !rr.OK {
 				denied = true
@@ -527,6 +610,24 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 			sp.End()
 			tx.routeAbort(abortDepth, abortChk, cause, id, req.TC)
 		}
+		if wrongShard {
+			// The object is not homed on this quorum's shard — stale map or
+			// a migration fence. Refresh and retry; during a drain both ends
+			// reject, so keep polling until the handover epoch lands.
+			sp.SetNote("wrong-shard")
+			sp.End()
+			if wrongShards++; wrongShards > wrongShardRetries {
+				return nil, fmt.Errorf("%w: read of %v kept landing on the wrong shard", ErrUnavailable, id)
+			}
+			tx.rt.metrics.QuorumRefreshes.Add(1)
+			if err := tx.rt.RefreshQuorums(); err != nil {
+				return nil, err
+			}
+			if err := sleepCtx(tx.ctx, wrongShardPause(wrongShards)); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if callErr != nil {
 			// A quorum member is unreachable: reconfigure and retry the
 			// read against the new quorum.
@@ -545,6 +646,9 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 		sp.SetVersion(best.Version)
 		sp.SetOK(true)
 		sp.End()
+		if tx.rt.Sharded() {
+			tx.noteShard(shard)
+		}
 		e := &entry{
 			copyv:      best,
 			ownerDepth: tx.depth,
@@ -561,14 +665,62 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 	}
 }
 
-// acquireBatch performs one read-quorum round for a set of unheld objects
-// with incremental Rqv: each quorum member receives only the footprint log
-// suffix past its own watermark, validates its whole reconciled session, and
-// returns all requested copies. The highest version across the quorum wins
-// per object, as in acquireRemote. Denials route aborts exactly like the
-// single-object path; NeedFull replies (the replica lost its session) reset
-// that member's watermark and retry the round with the full footprint.
+// acquireBatch fetches a set of unheld objects, grouping them by shard: each
+// group runs one batched read round against its own shard's read quorum. On
+// an unsharded runtime there is exactly one group (shard 0) and the call is
+// the single round it always was. Wrong-shard rejections — a stale map or a
+// migration fence — refresh the map, regroup the survivors by the fresh
+// placement, and retry under a budget sized to outlast a slot drain.
 func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
+	if !tx.rt.Sharded() {
+		return tx.acquireBatchShard(0, ids, write)
+	}
+	remaining := ids
+	for wrongShards := 0; ; wrongShards++ {
+		if err := tx.ctx.Err(); err != nil {
+			return err
+		}
+		groups, order := groupByShard(tx.rt, remaining)
+		var retry []proto.ObjectID
+		for _, s := range order {
+			switch err := tx.acquireBatchShard(s, groups[s], write); {
+			case errors.Is(err, errWrongShard):
+				retry = append(retry, groups[s]...)
+			case err != nil:
+				return err
+			}
+		}
+		if len(retry) == 0 {
+			return nil
+		}
+		if wrongShards >= wrongShardRetries {
+			return fmt.Errorf("%w: %d objects kept landing on the wrong shard", ErrUnavailable, len(retry))
+		}
+		tx.rt.metrics.QuorumRefreshes.Add(1)
+		if err := tx.rt.RefreshQuorums(); err != nil {
+			return err
+		}
+		if err := sleepCtx(tx.ctx, wrongShardPause(wrongShards)); err != nil {
+			return err
+		}
+		remaining = retry
+	}
+}
+
+// acquireBatchShard performs one read-quorum round for a set of unheld
+// objects homed on one shard, with incremental Rqv: each quorum member
+// receives only the footprint log suffix past its own watermark, validates
+// its whole reconciled session, and returns all requested copies. The highest
+// version across the quorum wins per object, as in acquireRemote. Denials
+// route aborts exactly like the single-object path; NeedFull replies (the
+// replica lost its session) reset that member's watermark and retry the round
+// with the full footprint. Wrong-shard rejections return errWrongShard for
+// acquireBatch to re-route.
+//
+// The footprint log and watermarks stay global (keyed by NodeID): members of
+// other shards simply skip the log entries they do not own, so one log serves
+// every shard's sessions without per-shard bookkeeping.
+func (tx *Txn) acquireBatchShard(shard proto.ShardID, ids []proto.ObjectID, write bool) error {
 	root := tx.root()
 	rqv := tx.rt.mode.Rqv()
 
@@ -579,7 +731,7 @@ func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
 		if err := tx.ctx.Err(); err != nil {
 			return err
 		}
-		readQ, _ := tx.rt.quorums()
+		readQ, _ := tx.rt.shardQuorums(shard)
 		if len(readQ) == 0 {
 			return ErrUnavailable
 		}
@@ -601,6 +753,9 @@ func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
 		}
 		sp.SetDepth(tx.depth)
 		sp.SetChk(tx.ownerChkNow())
+		if tx.rt.Sharded() {
+			sp.SetShard(shard)
+		}
 		logLen := len(root.fpLog)
 		base := proto.BatchReadReq{
 			Txn:   tx.id,
@@ -635,6 +790,7 @@ func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
 		abortDepth, abortChk := proto.NoDepth, proto.NoChk
 		denied := false
 		needFull := false
+		wrongShard := false
 		lockOnly := true
 		var callErr error
 		for _, rep := range replies {
@@ -655,6 +811,16 @@ func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
 				needFull = true
 				delete(root.wm, rep.Node)
 				continue
+			}
+			if rr.WrongShard {
+				if !rr.OK {
+					wrongShard = true // a requested object is not homed here
+					continue
+				}
+				// Advisory: a footprint item migrated away and this member
+				// skipped validating it — forfeit the read-only local commit
+				// (see Txn.shardDirty).
+				tx.root().shardDirty = true
 			}
 			if !rr.OK {
 				denied = true
@@ -703,6 +869,11 @@ func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
 			}
 			tx.routeAbort(abortDepth, abortChk, cause, obj, base.TC)
 		}
+		if wrongShard {
+			sp.SetNote("wrong-shard")
+			sp.End()
+			return errWrongShard
+		}
 		if callErr != nil {
 			sp.SetNote("node-down")
 			sp.End()
@@ -729,6 +900,10 @@ func (tx *Txn) acquireBatch(ids []proto.ObjectID, write bool) error {
 		}
 
 		sp.SetNote(fmt.Sprintf("batch=%d delta=%d", len(ids), deltaMax))
+		if tx.rt.Sharded() {
+			tx.noteShard(shard)
+			tx.rt.obs.ShardObserveSince(shard, obs.SiteReadRTT, t0)
+		}
 		for _, id := range ids {
 			c := best[id]
 			c.ID = id // unknown objects come back zero-valued; keep the ID

@@ -1,0 +1,506 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/core"
+	"qrdtm/internal/obs"
+	"qrdtm/internal/proto"
+	"qrdtm/internal/quorum"
+	"qrdtm/internal/server"
+)
+
+// BenchShardPath is where the Shard experiment writes its machine-readable
+// output ("" disables the file; cmd/qr-bench exposes it as -shard-out).
+var BenchShardPath = "BENCH_shard.json"
+
+// shardLocality is the fraction of transfers staying within one shard — the
+// branch-locality assumption that makes sharding pay: a bank's transfers are
+// mostly intra-branch, so most commits touch one (small) write quorum.
+const shardLocality = 0.95
+
+// shardRecord is one scaling cell's row in BENCH_shard.json.
+type shardRecord struct {
+	Shards      int     `json:"shards"`
+	Nodes       int     `json:"nodes"`
+	Clients     int     `json:"clients"`
+	Txns        int     `json:"txns_per_client"`
+	Commits     uint64  `json:"commits"`
+	Throughput  float64 `json:"txn_per_sec"`
+	Speedup     float64 `json:"speedup_vs_single"`
+	CommitP50Ms float64 `json:"commit_p50_ms"`
+	CommitP99Ms float64 `json:"commit_p99_ms"`
+	Verified    bool    `json:"verified"` // conservation oracle held after the run
+}
+
+// migrationRecord summarizes the live add-shard cell in BENCH_shard.json.
+type migrationRecord struct {
+	FromShards    int    `json:"from_shards"`
+	AddedShard    int    `json:"added_shard"`
+	SlotsMoved    int    `json:"slots_moved"`
+	EpochBefore   uint64 `json:"epoch_before"`
+	EpochAfter    uint64 `json:"epoch_after"`
+	CommitsDuring uint64 `json:"commits_during"`
+	Traces        int    `json:"traces_checked"`
+	Violations    int    `json:"trace_violations"`
+	Verified      bool   `json:"verified"`
+}
+
+// shardBench is the whole BENCH_shard.json document.
+type shardBench struct {
+	Scaling      []shardRecord   `json:"scaling"`
+	Speedup4Vs1  float64         `json:"speedup_4_vs_1"`
+	Migration    migrationRecord `json:"migration"`
+	LocalityFrac float64         `json:"locality_fraction"`
+}
+
+// Shard prices sharding the object space into independent quorum groups. Two
+// parts, both over real localhost TCP on the paper's 13-node cluster:
+//
+// Scaling: the bank-transfer workload with branch locality (95% of transfers
+// intra-shard) at 1, 2 and 4 shards. Every cell runs the same number of
+// transfers to completion and must end balance-conserving, so throughput is
+// compared at equal verified commits. The single-shard cell is the classic
+// one-tree deployment; the win comes from smaller write quorums (a 3-4 node
+// group's write quorum is 3 members vs 7 for the 13-node tree) and from
+// spreading commit processing across independent groups.
+//
+// Migration: a 2-shard cluster reconfigured online — a third shard carved
+// out and a third of the slots migrated while transfer traffic flows — under
+// distributed tracing. The cell passes only if no money is lost, the commits
+// kept flowing, and the merged trace satisfies every protocol invariant
+// including cross-shard 2PC atomicity.
+func Shard(ctx context.Context, s Scale) ([]Table, error) {
+	t := Table{
+		ID:     "shard",
+		Title:  "sharded quorum trees: throughput scaling and online migration (real TCP)",
+		Header: []string{"shards", "clients", "txn/s", "speedup", "commit p50 ms", "commit p99 ms", "verified"},
+	}
+	doc := shardBench{LocalityFrac: shardLocality}
+	for _, shards := range []int{1, 2, 4} {
+		rec, err := runShardCell(ctx, s, shards)
+		if err != nil {
+			return nil, fmt.Errorf("shard cell %d: %w", shards, err)
+		}
+		if len(doc.Scaling) > 0 {
+			rec.Speedup = rec.Throughput / doc.Scaling[0].Throughput
+		} else {
+			rec.Speedup = 1
+		}
+		doc.Scaling = append(doc.Scaling, rec)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(rec.Shards), fmt.Sprint(rec.Clients),
+			f1(rec.Throughput), fmt.Sprintf("%.2fx", rec.Speedup),
+			fmt.Sprintf("%.2f", rec.CommitP50Ms), fmt.Sprintf("%.2f", rec.CommitP99Ms),
+			fmt.Sprint(rec.Verified),
+		})
+	}
+	doc.Speedup4Vs1 = doc.Scaling[len(doc.Scaling)-1].Speedup
+
+	mig, err := runShardMigrationCell(ctx, s)
+	if err != nil {
+		return nil, fmt.Errorf("shard migration cell: %w", err)
+	}
+	doc.Migration = mig
+	t.Rows = append(t.Rows, []string{
+		"2→3 (live)", "3",
+		fmt.Sprintf("moved %d slots", mig.SlotsMoved),
+		fmt.Sprintf("epoch %d→%d", mig.EpochBefore, mig.EpochAfter),
+		fmt.Sprintf("%d commits", mig.CommitsDuring),
+		fmt.Sprintf("%d traces, %d violations", mig.Traces, mig.Violations),
+		fmt.Sprint(mig.Verified),
+	})
+
+	if BenchShardPath != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("shard: encoding %s: %w", BenchShardPath, err)
+		}
+		if err := os.WriteFile(BenchShardPath, append(b, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("shard: writing %s: %w", BenchShardPath, err)
+		}
+	}
+	return []Table{t}, nil
+}
+
+// shardTCPCluster is a localhost TCP deployment with an installed shard map.
+type shardTCPCluster struct {
+	replicas []*server.Replica
+	servers  []*cluster.TCPServer
+	trans    *cluster.TCPTransport
+	all      []proto.NodeID
+}
+
+func (c *shardTCPCluster) close() {
+	if c.trans != nil {
+		c.trans.Close()
+	}
+	for _, srv := range c.servers {
+		if srv != nil {
+			_ = srv.Close()
+		}
+	}
+}
+
+// newShardTCPCluster boots nodes localhost replicas (sharing reg for traced
+// cells), installs m on every replica when sharded, and connects a client
+// transport.
+func newShardTCPCluster(nodes int, m proto.ShardMap, reg *obs.Registry) (*shardTCPCluster, error) {
+	c := &shardTCPCluster{}
+	peers := make(map[proto.NodeID]string, nodes)
+	for i := 0; i < nodes; i++ {
+		r := server.New(proto.NodeID(i)).WithObs(reg)
+		if m.Sharded() {
+			r.SetShardMap(m)
+		}
+		srv, err := cluster.ListenTCP(proto.NodeID(i), "127.0.0.1:0", r.Handle)
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("listen node %d: %w", i, err)
+		}
+		c.replicas = append(c.replicas, r)
+		c.servers = append(c.servers, srv)
+		c.all = append(c.all, proto.NodeID(i))
+		peers[proto.NodeID(i)] = srv.Addr()
+	}
+	c.trans = cluster.NewTCPTransport(peers)
+	return c, nil
+}
+
+// refShards is the finest scaling cell. Accounts are bucketed by the
+// *reference* 4-way partition in every cell, so the conflict graph (which
+// account pairs contend) is identical across cells and only the quorum
+// layout varies. PartitionMap assigns slot owners as slot mod shards, so a
+// reference bucket (slots ≡ b mod 4) is wholly inside shard b mod 2 of the
+// 2-way split and trivially inside the single tree: intra-bucket transfers
+// are intra-shard in every cell.
+const refShards = 4
+
+// refAccountBuckets deals account names into the reference buckets:
+// scanning names upward, each bucket takes the first `per` names whose slot
+// lands in it, so every bucket ends with exactly `per` accounts.
+func refAccountBuckets(per int) [][]proto.ObjectID {
+	buckets := make([][]proto.ObjectID, refShards)
+	filled := 0
+	for i := 0; filled < refShards; i++ {
+		id := proto.ObjectID(fmt.Sprintf("acct/%04d", i))
+		b := int(proto.SlotOf(id)) % refShards
+		if len(buckets[b]) >= per {
+			continue
+		}
+		buckets[b] = append(buckets[b], id)
+		if len(buckets[b]) == per {
+			filled++
+		}
+	}
+	return buckets
+}
+
+// loadAccounts installs the account copies: everywhere when unsharded, only
+// on the owning shard's members otherwise (a disowned frozen copy would trip
+// the WrongShard advisory).
+func loadAccounts(c *shardTCPCluster, m proto.ShardMap, buckets [][]proto.ObjectID, balance int64) {
+	for _, ids := range buckets {
+		for _, id := range ids {
+			cp := []proto.ObjectCopy{{ID: id, Version: 1, Val: proto.Int64(balance)}}
+			members := c.all
+			if m.Sharded() {
+				spec, _ := m.Shard(m.ShardFor(id))
+				members = spec.Members
+			}
+			for _, n := range members {
+				c.replicas[n].Store().Load(cp)
+			}
+		}
+	}
+}
+
+// pickTransfer draws a transfer respecting shard locality: usually two
+// accounts of one bucket, occasionally one from each of two buckets.
+func pickTransfer(rng *rand.Rand, buckets [][]proto.ObjectID) (from, to proto.ObjectID) {
+	if len(buckets) == 1 || rng.Float64() < shardLocality {
+		b := buckets[rng.IntN(len(buckets))]
+		i := rng.IntN(len(b))
+		j := rng.IntN(len(b) - 1)
+		if j >= i {
+			j++
+		}
+		return b[i], b[j]
+	}
+	bi := rng.IntN(len(buckets))
+	bj := rng.IntN(len(buckets) - 1)
+	if bj >= bi {
+		bj++
+	}
+	return buckets[bi][rng.IntN(len(buckets[bi]))], buckets[bj][rng.IntN(len(buckets[bj]))]
+}
+
+// checkShardConservation resolves every account through the highest version
+// any replica holds and compares the sum against the loaded total.
+func checkShardConservation(c *shardTCPCluster, buckets [][]proto.ObjectID, balance int64) (bool, error) {
+	total, count := int64(0), 0
+	for _, b := range buckets {
+		for _, id := range b {
+			var best proto.ObjectCopy
+			for _, r := range c.replicas {
+				if cp, ok := r.Store().Get(id); ok && cp.Version >= best.Version {
+					best = cp
+				}
+			}
+			if best.Val == nil {
+				return false, fmt.Errorf("account %s vanished", id)
+			}
+			total += int64(best.Val.(proto.Int64))
+			count++
+		}
+	}
+	if total != int64(count)*balance {
+		return false, fmt.Errorf("conservation violated: total = %d, want %d", total, int64(count)*balance)
+	}
+	return true, nil
+}
+
+// shardRuntime builds a client runtime for the cell: classic tree quorums
+// when unsharded, per-shard groups over mapFn otherwise.
+func shardRuntime(node proto.NodeID, trans cluster.Transport, nodes int, mapFn func() (proto.ShardMap, error),
+	ids *core.IDGen, metrics *core.Metrics, reg *obs.Registry) (*core.Runtime, error) {
+	cfg := core.Config{
+		Node:      node,
+		Transport: trans,
+		Mode:      core.Closed,
+		IDs:       ids,
+		Metrics:   metrics,
+		Obs:       reg,
+	}
+	if mapFn != nil {
+		cfg.Shards = core.TreeShardQuorums{Map: mapFn}
+	} else {
+		cfg.Quorums = core.TreeQuorums{Tree: quorum.NewTree(nodes)}
+	}
+	return core.NewRuntime(cfg)
+}
+
+// runShardCell runs one scaling cell: an s.Nodes-node localhost TCP cluster
+// split into `shards` quorum groups, 4×Scale clients running the locality
+// transfer workload to completion.
+func runShardCell(ctx context.Context, s Scale, shards int) (shardRecord, error) {
+	const initBalance = 100
+	nodes := s.Nodes
+	clients := 4 * s.Clients // the scaling win is a saturation effect
+	txns := s.Txns
+
+	var m proto.ShardMap
+	if shards > 1 {
+		m = proto.PartitionMap(nodesList(nodes), shards)
+	}
+	c, err := newShardTCPCluster(nodes, m, nil)
+	if err != nil {
+		return shardRecord{}, err
+	}
+	defer c.close()
+	// Four accounts per reference bucket: a hot-enough workload that prepare
+	// hold time matters — the single tree holds its prepare locks across a
+	// 7-node round trip, a shard across 3, and the shorter critical section
+	// is (with the smaller fan-out) exactly what sharding buys.
+	buckets := refAccountBuckets(4)
+	loadAccounts(c, m, buckets, initBalance)
+
+	var mapFn func() (proto.ShardMap, error)
+	if m.Sharded() {
+		mapFn = func() (proto.ShardMap, error) { return m, nil }
+	}
+	ids := core.NewIDGen()
+	metrics := &core.Metrics{}
+	reg := obs.NewRegistry()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	start := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rt, err := shardRuntime(proto.NodeID(cl%nodes), c.trans, nodes, mapFn, ids, metrics, reg)
+			if err != nil {
+				errs[cl] = err
+				return
+			}
+			rng := rand.New(rand.NewPCG(s.Seed, uint64(cl)))
+			for i := 0; i < txns; i++ {
+				from, to := pickTransfer(rng, buckets)
+				if err := rt.Atomic(ctx, transferTxn(from, to)); err != nil {
+					errs[cl] = fmt.Errorf("client %d txn %d: %w", cl, i, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return shardRecord{}, err
+		}
+	}
+	verified, err := checkShardConservation(c, buckets, initBalance)
+	if err != nil {
+		return shardRecord{}, err
+	}
+	commit := reg.Snapshot().Hists[obs.SiteCommitRTT].Stats()
+	commits := metrics.Commits.Load()
+	return shardRecord{
+		Shards:      shards,
+		Nodes:       nodes,
+		Clients:     clients,
+		Txns:        txns,
+		Commits:     commits,
+		Throughput:  float64(commits) / elapsed.Seconds(),
+		CommitP50Ms: commit.P50Ms,
+		CommitP99Ms: commit.P99Ms,
+		Verified:    verified,
+	}, nil
+}
+
+// transferTxn is the bank transfer body shared by every shard cell.
+func transferTxn(from, to proto.ObjectID) func(*core.Txn) error {
+	return func(tx *core.Txn) error {
+		fv, err := tx.Read(from)
+		if err != nil {
+			return err
+		}
+		tv, err := tx.Read(to)
+		if err != nil {
+			return err
+		}
+		if err := tx.Write(from, proto.Int64(int64(fv.(proto.Int64))-1)); err != nil {
+			return err
+		}
+		return tx.Write(to, proto.Int64(int64(tv.(proto.Int64))+1))
+	}
+}
+
+func nodesList(n int) []proto.NodeID {
+	out := make([]proto.NodeID, n)
+	for i := range out {
+		out[i] = proto.NodeID(i)
+	}
+	return out
+}
+
+// runShardMigrationCell reconfigures a live 2-shard TCP cluster under
+// tracing: shard 2 (nodes 10..12) is carved out and every third slot
+// migrated to it while three clients keep transferring. Clients refetch the
+// shard map from the cluster on every WrongShard denial, exactly as a
+// production client would.
+func runShardMigrationCell(ctx context.Context, s Scale) (migrationRecord, error) {
+	const initBalance = 100
+	nodes := s.Nodes
+	reg := obs.NewRegistry().WithSpans(obs.NewSpanBuffer(1 << 16))
+
+	before := proto.PartitionMap(nodesList(nodes), 2)
+	c, err := newShardTCPCluster(nodes, before, reg)
+	if err != nil {
+		return migrationRecord{}, err
+	}
+	defer c.close()
+	buckets := refAccountBuckets(max(4, s.Clients))
+	loadAccounts(c, before, buckets, initBalance)
+
+	runCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	stop := make(chan struct{})
+	var commits atomic.Uint64
+	var wg sync.WaitGroup
+	ids := core.NewIDGen()
+	metrics := &core.Metrics{}
+	errs := make([]error, 3)
+	for cl := 0; cl < 3; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			node := proto.NodeID(cl % nodes)
+			mapFn := func() (proto.ShardMap, error) {
+				return core.FetchShardMap(runCtx, c.trans, node, c.all)
+			}
+			rt, err := shardRuntime(node, c.trans, nodes, mapFn, ids, metrics, reg)
+			if err != nil {
+				errs[cl] = err
+				return
+			}
+			rng := rand.New(rand.NewPCG(s.Seed+77, uint64(cl)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from, to := pickTransfer(rng, buckets)
+				if err := rt.Atomic(runCtx, transferTxn(from, to)); err != nil {
+					errs[cl] = err
+					return
+				}
+				commits.Add(1)
+			}
+		}(cl)
+	}
+
+	// Let traffic establish, then migrate every third slot to a new shard
+	// over nodes 10..12 while the transfers keep flowing.
+	time.Sleep(100 * time.Millisecond)
+	var slots []int
+	for sl := 0; sl < proto.NumSlots; sl++ {
+		if sl%3 == 0 {
+			slots = append(slots, sl)
+		}
+	}
+	newID := proto.ShardID(len(before.Shards))
+	members := c.all[nodes-3:]
+	final, err := core.Reshard(runCtx, c.trans, 0, c.all, before, proto.ShardSpec{ID: newID, Members: members}, slots)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return migrationRecord{}, fmt.Errorf("reshard: %w", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return migrationRecord{}, err
+		}
+	}
+
+	verified, err := checkShardConservation(c, buckets, initBalance)
+	if err != nil {
+		return migrationRecord{}, err
+	}
+	spans := obs.MergeSpans(reg.Spans().Spans())
+	res := obs.CheckTrace(spans)
+	if res.Traces == 0 {
+		return migrationRecord{}, fmt.Errorf("migration cell collected no complete traces")
+	}
+	if err := res.Err(); err != nil {
+		return migrationRecord{}, err
+	}
+	if commits.Load() == 0 {
+		return migrationRecord{}, fmt.Errorf("no transfers committed across the migration")
+	}
+	return migrationRecord{
+		FromShards:    len(before.Shards),
+		AddedShard:    int(newID),
+		SlotsMoved:    len(slots),
+		EpochBefore:   before.Epoch,
+		EpochAfter:    final.Epoch,
+		CommitsDuring: commits.Load(),
+		Traces:        res.Traces,
+		Violations:    len(res.Violations),
+		Verified:      verified,
+	}, nil
+}

@@ -158,6 +158,7 @@ func CheckTrace(all []proto.Span) CheckResult {
 		checkStructure(&res, ts, byTrace[tid])
 		checkAbortRouting(&res, ts, byTrace[tid])
 		checkCheckpointNesting(&res, ts)
+		checkCrossShardAtomicity(&res, ts, byTrace[tid])
 	}
 	checkReadConsistency(&res, sets, complete)
 	checkMonotoneVersions(&res, sets, complete)
@@ -294,6 +295,66 @@ func checkCheckpointNesting(res *CheckResult, ts *traceSet) {
 				}
 				cur = m.Chk
 			}
+		}
+	}
+}
+
+// checkCrossShardAtomicity verifies 2PC atomicity across shards: every
+// decide delivered under one commit span carries the deciding outcome in its
+// OK flag and the serving member's shard in its shard tag, so a commit whose
+// decides disagree — commit on one shard, abort on another — is a torn
+// cross-shard transaction. The check covers single-shard commits too (a
+// mixed decision within one quorum group is equally torn); untagged decide
+// spans (unsharded runs) are skipped since there is nothing to tear across.
+func checkCrossShardAtomicity(res *CheckResult, ts *traceSet, spans []proto.Span) {
+	for _, s := range spans {
+		if s.Kind != proto.SpanCommit {
+			continue
+		}
+		// outcome per shard: +1 commit seen, -1 abort seen, both → torn.
+		type vote struct{ commit, abort bool }
+		byShard := make(map[proto.ShardID]*vote)
+		for _, c := range ts.children[s.ID] {
+			if c.Kind != proto.SpanServeDecide {
+				continue
+			}
+			sh := c.ShardID()
+			if sh == proto.NoShard {
+				continue
+			}
+			v := byShard[sh]
+			if v == nil {
+				v = &vote{}
+				byShard[sh] = v
+			}
+			if c.OK {
+				v.commit = true
+			} else {
+				v.abort = true
+			}
+		}
+		if len(byShard) == 0 {
+			continue
+		}
+		var commits, aborts []proto.ShardID
+		torn := false
+		for sh, v := range byShard {
+			if v.commit {
+				commits = append(commits, sh)
+			}
+			if v.abort {
+				aborts = append(aborts, sh)
+			}
+			if v.commit && v.abort {
+				torn = true
+			}
+		}
+		if torn || (len(commits) > 0 && len(aborts) > 0) {
+			sort.Slice(commits, func(i, j int) bool { return commits[i] < commits[j] })
+			sort.Slice(aborts, func(i, j int) bool { return aborts[i] < aborts[j] })
+			res.add(ts, "cross-shard-atomicity", s, fmt.Sprintf(
+				"commit decided differently across shards: commit on %v, abort on %v",
+				commits, aborts))
 		}
 	}
 }

@@ -94,6 +94,9 @@ func WriteChromeTrace(w io.Writer, spans []proto.Span) error {
 		if s.Note != "" {
 			args["note"] = s.Note
 		}
+		if sh := s.ShardID(); sh != proto.NoShard {
+			args["shard"] = int(sh)
+		}
 		if len(s.Items) > 0 {
 			items := make([]string, len(s.Items))
 			for i, it := range s.Items {

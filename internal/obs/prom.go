@@ -3,8 +3,11 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
+
+	"qrdtm/internal/proto"
 )
 
 // This file renders a registry snapshot in the Prometheus text exposition
@@ -50,6 +53,61 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 	for _, site := range Sites {
 		if err := WritePromHist(w, promName(site), snap.Hists[site], !site.Dimensionless()); err != nil {
 			return err
+		}
+	}
+	return writePromShards(w, snap)
+}
+
+// writePromShards renders the per-shard metric slices of a sharded run as
+// shard-labeled series; unsharded snapshots emit nothing, keeping their
+// scrape output byte-identical to pre-sharding builds.
+func writePromShards(w io.Writer, snap Snapshot) error {
+	if len(snap.Shards) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(snap.Shards))
+	for id := range snap.Shards {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	if _, err := fmt.Fprintf(w, "# HELP qrdtm_shard_commits_total Committed transactions per participating shard.\n# TYPE qrdtm_shard_commits_total counter\n"); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(w, "qrdtm_shard_commits_total{shard=\"%d\"} %d\n", id, snap.Shards[proto.ShardID(id)].Commits); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP qrdtm_shard_aborts_total Aborted attempts per participating shard.\n# TYPE qrdtm_shard_aborts_total counter\n"); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := fmt.Fprintf(w, "qrdtm_shard_aborts_total{shard=\"%d\"} %d\n", id, snap.Shards[proto.ShardID(id)].Aborts); err != nil {
+			return err
+		}
+	}
+	// RTT summaries as shard-labeled gauges (count + mean + p99): the full
+	// per-shard buckets aren't kept, only the site-wide histograms are.
+	for _, m := range []struct {
+		name, help string
+		pick       func(ShardSnapshot) Stats
+	}{
+		{"qrdtm_shard_read_rtt", "Read-quorum round trip per shard (ms summaries).", func(s ShardSnapshot) Stats { return s.ReadRTT }},
+		{"qrdtm_shard_commit_rtt", "Commit round trip per shard (ms summaries).", func(s ShardSnapshot) Stats { return s.CommitRTT }},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s_ms %s\n# TYPE %s_ms gauge\n", m.name, m.help, m.name); err != nil {
+			return err
+		}
+		for _, id := range ids {
+			st := m.pick(snap.Shards[proto.ShardID(id)])
+			for _, q := range []struct {
+				label string
+				v     float64
+			}{{"count", float64(st.Count)}, {"mean", st.MeanMs}, {"p99", st.P99Ms}} {
+				if _, err := fmt.Fprintf(w, "%s_ms{shard=\"%d\",stat=%q} %s\n", m.name, id, q.label, promFloat(q.v)); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"qrdtm/internal/proto"
 )
 
 // Site names one instrumented protocol location. The registry keeps one
@@ -79,6 +82,10 @@ const (
 	// CauseNodeDown: a quorum member was unreachable and the attempt was
 	// aborted to reconfigure around it.
 	CauseNodeDown
+	// CauseWrongShard: a commit participant rejected the prepare because an
+	// object is not (or no longer) homed on its shard — the client's shard
+	// map was stale, or a migration fenced the object mid-commit.
+	CauseWrongShard
 
 	numCauses
 )
@@ -88,6 +95,7 @@ var causeNames = [numCauses]string{
 	CauseLockDenied:     "lock-denied",
 	CauseCommitConflict: "commit-conflict",
 	CauseNodeDown:       "node-down",
+	CauseWrongShard:     "wrong-shard",
 }
 
 // String implements fmt.Stringer.
@@ -99,7 +107,7 @@ func (c AbortCause) String() string {
 }
 
 // Causes lists all abort causes in presentation order.
-var Causes = []AbortCause{CauseReadValidation, CauseLockDenied, CauseCommitConflict, CauseNodeDown}
+var Causes = []AbortCause{CauseReadValidation, CauseLockDenied, CauseCommitConflict, CauseNodeDown, CauseWrongShard}
 
 // Registry is the per-process (or per-experiment-cell) observability hub:
 // one histogram per instrumented site, abort counters by cause, and an
@@ -113,6 +121,22 @@ type Registry struct {
 	aborts [numCauses]atomic.Uint64
 	tracer *Tracer
 	spans  *SpanBuffer
+
+	// Per-shard metric slices, lazily allocated the first time a sharded
+	// runtime reports against a shard. Unsharded runs never touch them (and
+	// pay only an untaken branch), so single-tree output is byte-identical.
+	shardMu sync.RWMutex
+	shards  map[proto.ShardID]*shardStats
+}
+
+// shardStats is the per-shard slice of the hot-path metrics: the two quorum
+// round-trip sites that actually vary by shard (smaller groups → shorter
+// rounds), plus commit/abort counts for per-shard throughput attribution.
+type shardStats struct {
+	readRTT   Histogram
+	commitRTT Histogram
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
 }
 
 // NewRegistry returns an empty registry.
@@ -179,6 +203,61 @@ func (r *Registry) Abort(c AbortCause) {
 	r.aborts[c].Add(1)
 }
 
+// shardStats returns the lazily-allocated stats slice for one shard, or nil
+// on a nil registry or negative id.
+func (r *Registry) shardStats(id proto.ShardID) *shardStats {
+	if r == nil || id < 0 {
+		return nil
+	}
+	r.shardMu.RLock()
+	s := r.shards[id]
+	r.shardMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.shardMu.Lock()
+	defer r.shardMu.Unlock()
+	if r.shards == nil {
+		r.shards = make(map[proto.ShardID]*shardStats)
+	}
+	if s = r.shards[id]; s == nil {
+		s = &shardStats{}
+		r.shards[id] = s
+	}
+	return s
+}
+
+// ShardObserveSince records the elapsed time since t0 against shard id at
+// site s. Only the per-shard sites (SiteReadRTT, SiteCommitRTT) are kept;
+// other sites no-op rather than grow unbounded per-shard state.
+func (r *Registry) ShardObserveSince(id proto.ShardID, s Site, t0 time.Time) {
+	ss := r.shardStats(id)
+	if ss == nil || t0.IsZero() {
+		return
+	}
+	switch s {
+	case SiteReadRTT:
+		ss.readRTT.Record(int64(time.Since(t0)))
+	case SiteCommitRTT:
+		ss.commitRTT.Record(int64(time.Since(t0)))
+	}
+}
+
+// ShardCommit counts one committed transaction whose footprint touched shard
+// id (a cross-shard commit counts on every participant).
+func (r *Registry) ShardCommit(id proto.ShardID) {
+	if ss := r.shardStats(id); ss != nil {
+		ss.commits.Add(1)
+	}
+}
+
+// ShardAbort counts one aborted attempt attributed to shard id.
+func (r *Registry) ShardAbort(id proto.ShardID) {
+	if ss := r.shardStats(id); ss != nil {
+		ss.aborts.Add(1)
+	}
+}
+
 // Trace emits ev to the attached tracer, if any.
 func (r *Registry) Trace(ev Event) {
 	if r == nil || r.tracer == nil {
@@ -206,9 +285,21 @@ type Snapshot struct {
 	Sites  map[string]Stats  `json:"sites"`
 	Aborts map[string]uint64 `json:"aborts"`
 
+	// Shards carries the per-shard metric slices of a sharded run, keyed by
+	// shard id. Empty (omitted) on unsharded runs.
+	Shards map[proto.ShardID]ShardSnapshot `json:"shards,omitempty"`
+
 	// Hists keeps the full mergeable snapshots (not serialized; quantile
 	// queries on merged windows need the buckets, not just the summary).
 	Hists map[Site]HistSnapshot `json:"-"`
+}
+
+// ShardSnapshot is one shard's slice of a Snapshot.
+type ShardSnapshot struct {
+	ReadRTT   Stats  `json:"read_rtt"`
+	CommitRTT Stats  `json:"commit_rtt"`
+	Commits   uint64 `json:"commits"`
+	Aborts    uint64 `json:"aborts"`
 }
 
 // Snapshot copies every histogram and counter. Safe on a nil registry
@@ -229,5 +320,20 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Sites[site.String()] = hs.Stats()
 	}
 	s.Aborts = r.AbortCounts()
+	if r != nil {
+		r.shardMu.RLock()
+		if len(r.shards) > 0 {
+			s.Shards = make(map[proto.ShardID]ShardSnapshot, len(r.shards))
+			for id, ss := range r.shards {
+				s.Shards[id] = ShardSnapshot{
+					ReadRTT:   ss.readRTT.Snapshot().Stats(),
+					CommitRTT: ss.commitRTT.Snapshot().Stats(),
+					Commits:   ss.commits.Load(),
+					Aborts:    ss.aborts.Load(),
+				}
+			}
+		}
+		r.shardMu.RUnlock()
+	}
 	return s
 }

@@ -155,6 +155,14 @@ func (a *ActiveSpan) SetNote(n string) {
 	}
 }
 
+// SetShard records the shard the span's quorum round targeted (sharded runs
+// only; negative ids no-op, so unsharded spans stay untagged).
+func (a *ActiveSpan) SetShard(id proto.ShardID) {
+	if a.buf != nil {
+		a.s.SetShard(id)
+	}
+}
+
 // AddItem appends one touched object (installed writes on commit/decide).
 func (a *ActiveSpan) AddItem(o proto.ObjectID, v proto.Version) {
 	if a.buf != nil {

@@ -95,7 +95,8 @@ func AppendWire(buf []byte, msg any) ([]byte, bool) {
 		buf = appendWireCopy(buf, m.Copy)
 		buf = binary.AppendVarint(buf, int64(m.AbortDepth))
 		buf = binary.AppendVarint(buf, int64(m.AbortChk))
-		return appendWireBool(buf, m.LockOnly), true
+		buf = appendWireBool(buf, m.LockOnly)
+		return appendWireBool(buf, m.WrongShard), true
 	case BatchReadReq:
 		buf = append(buf, wireTagBatchReadReq)
 		buf = binary.AppendUvarint(buf, uint64(m.Txn))
@@ -116,7 +117,8 @@ func AppendWire(buf []byte, msg any) ([]byte, bool) {
 		buf = binary.AppendVarint(buf, int64(m.AbortDepth))
 		buf = binary.AppendVarint(buf, int64(m.AbortChk))
 		buf = appendWireBool(buf, m.LockOnly)
-		return appendWireBool(buf, m.NeedFull), true
+		buf = appendWireBool(buf, m.NeedFull)
+		return appendWireBool(buf, m.WrongShard), true
 	case PrepareReq:
 		buf = append(buf, wireTagPrepareReq)
 		buf = binary.AppendUvarint(buf, uint64(m.Txn))
@@ -130,7 +132,8 @@ func AppendWire(buf []byte, msg any) ([]byte, bool) {
 		return appendWireTC(buf, m.TC), true
 	case PrepareRep:
 		buf = append(buf, wireTagPrepareRep)
-		return appendWireBool(buf, m.OK), true
+		buf = appendWireBool(buf, m.OK)
+		return appendWireBool(buf, m.WrongShard), true
 	case DecideReq:
 		buf = append(buf, wireTagDecideReq)
 		buf = binary.AppendUvarint(buf, uint64(m.Txn))
@@ -188,6 +191,7 @@ func DecodeWire(b []byte) (any, error) {
 			AbortDepth: int(r.varint()),
 			AbortChk:   int(r.varint()),
 			LockOnly:   r.bool(),
+			WrongShard: r.bool(),
 		}
 	case wireTagBatchReadReq:
 		m := BatchReadReq{Txn: TxnID(r.uvarint())}
@@ -212,6 +216,7 @@ func DecodeWire(b []byte) (any, error) {
 			AbortChk:   int(r.varint()),
 			LockOnly:   r.bool(),
 			NeedFull:   r.bool(),
+			WrongShard: r.bool(),
 		}
 	case wireTagPrepareReq:
 		m := PrepareReq{Txn: TxnID(r.uvarint())}
@@ -227,7 +232,7 @@ func DecodeWire(b []byte) (any, error) {
 		m.TC = r.tc()
 		msg = m
 	case wireTagPrepareRep:
-		msg = PrepareRep{OK: r.bool()}
+		msg = PrepareRep{OK: r.bool(), WrongShard: r.bool()}
 	case wireTagDecideReq:
 		msg = DecideReq{
 			Txn:    TxnID(r.uvarint()),

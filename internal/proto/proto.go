@@ -102,6 +102,11 @@ type ReadRep struct {
 	// LockOnly qualifies a denial: every conflict was a pending commit's
 	// lock, none a committed newer version (contention-manager input).
 	LockOnly bool
+	// WrongShard qualifies a denial: the replica does not own the requested
+	// object (or one of the footprint items it was asked to certify) under
+	// its current shard map, or the object's slot is mid-migration. The
+	// requester must refresh its shard map and re-route.
+	WrongShard bool
 }
 
 // BatchReadReq is the multi-object, delta-validated generalisation of
@@ -141,6 +146,9 @@ type BatchReadRep struct {
 	AbortChk   int
 	LockOnly   bool
 	NeedFull   bool
+	// WrongShard: as in ReadRep — the replica no longer owns one of the
+	// requested objects (stale client map, or mid-migration fence).
+	WrongShard bool
 }
 
 // PrepareReq is phase one of the two-phase commit sent to the write quorum.
@@ -166,6 +174,11 @@ type PrepareReq struct {
 // PrepareRep is a write-quorum node's vote.
 type PrepareRep struct {
 	OK bool
+	// WrongShard qualifies a No vote: the replica does not own every object
+	// in the prepare under its current shard map (stale client routing, or a
+	// slot fenced mid-migration). The coordinator refreshes its map and
+	// retries the transaction rather than counting this as a conflict.
+	WrongShard bool
 }
 
 // DecideReq is phase two of the commit protocol: Commit==true installs

@@ -1,0 +1,111 @@
+package proto
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestSlotOfStableAndInRange(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		id := ObjectID(fmt.Sprintf("obj/%d", i))
+		s := SlotOf(id)
+		if s < 0 || s >= NumSlots {
+			t.Fatalf("SlotOf(%s) = %d out of range", id, s)
+		}
+		if again := SlotOf(id); again != s {
+			t.Fatalf("SlotOf(%s) unstable: %d then %d", id, s, again)
+		}
+	}
+}
+
+func TestPartitionMapProperties(t *testing.T) {
+	nodes := make([]NodeID, 13)
+	for i := range nodes {
+		nodes[i] = NodeID(i)
+	}
+	for _, shards := range []int{1, 2, 3, 4} {
+		m := PartitionMap(nodes, shards)
+		if !m.Sharded() || len(m.Shards) != shards {
+			t.Fatalf("PartitionMap(%d): %d shards", shards, len(m.Shards))
+		}
+		if m.Epoch == 0 {
+			t.Fatal("initial epoch must be nonzero so replicas can install it over the zero map")
+		}
+		// Every node in exactly one shard; members contiguous and nonempty.
+		seen := make(map[NodeID]bool)
+		for _, s := range m.Shards {
+			if len(s.Members) == 0 {
+				t.Fatalf("shard %d empty", s.ID)
+			}
+			for _, n := range s.Members {
+				if seen[n] {
+					t.Fatalf("node %v in two shards", n)
+				}
+				seen[n] = true
+			}
+		}
+		if len(seen) != len(nodes) {
+			t.Fatalf("%d nodes covered, want %d", len(seen), len(nodes))
+		}
+		// Every slot owned by a real shard, none migrating.
+		for i, e := range m.Slots {
+			if int(e.Owner) < 0 || int(e.Owner) >= shards {
+				t.Fatalf("slot %d owner %d", i, e.Owner)
+			}
+			if e.MovingTo != NoShard {
+				t.Fatalf("slot %d migrating in a fresh map", i)
+			}
+		}
+	}
+}
+
+func TestOwnsAndMigrating(t *testing.T) {
+	nodes := []NodeID{0, 1, 2, 3, 4, 5}
+	m := PartitionMap(nodes, 2)
+	obj := ObjectID("acct/7")
+	owner := m.ShardFor(obj)
+	spec, ok := m.Shard(owner)
+	if !ok {
+		t.Fatalf("shard %d missing", owner)
+	}
+	other, _ := m.Shard(1 - owner)
+	if !m.Owns(spec.Members[0], obj) {
+		t.Fatal("owning member must own the object")
+	}
+	if m.Owns(other.Members[0], obj) {
+		t.Fatal("non-member must not own the object")
+	}
+	// A migrating slot is owned by nobody: both ends fence.
+	fenced := m.Clone()
+	fenced.Slots[SlotOf(obj)].MovingTo = 1 - owner
+	if !fenced.Migrating(obj) {
+		t.Fatal("Migrating must report the fence")
+	}
+	if fenced.Owns(spec.Members[0], obj) || fenced.Owns(other.Members[0], obj) {
+		t.Fatal("no node owns a migrating slot")
+	}
+	// The unsharded zero map owns everything everywhere.
+	var zero ShardMap
+	if !zero.Owns(0, obj) || zero.Migrating(obj) {
+		t.Fatal("zero map must own all and migrate nothing")
+	}
+}
+
+func TestShardMapCloneIndependent(t *testing.T) {
+	m := PartitionMap([]NodeID{0, 1, 2, 3}, 2)
+	c := m.Clone()
+	c.Epoch++
+	c.Slots[0].Owner = 1
+	c.Slots[0].MovingTo = 0
+	c.Shards[0].Members[0] = 99
+	if m.Slots[0] == c.Slots[0] && m.Slots[0].MovingTo == c.Slots[0].MovingTo {
+		t.Fatal("clone shares slot storage")
+	}
+	if m.Shards[0].Members[0] == 99 {
+		t.Fatal("clone shares member storage")
+	}
+	if reflect.DeepEqual(m, c) {
+		t.Fatal("mutating the clone changed the original")
+	}
+}

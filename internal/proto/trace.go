@@ -129,6 +129,26 @@ type Span struct {
 	OK      bool       `json:"ok"`
 	Note    string     `json:"note,omitempty"`
 	Items   []SpanItem `json:"items,omitempty"`
+	// Shard is the quorum group the span's round targeted, as (ShardID + 1)
+	// so the zero value still means "not shard-tagged" (unsharded runs and
+	// spans that touch no particular shard). Use ShardID/SetShard.
+	Shard int `json:"shard,omitempty"`
+}
+
+// ShardID returns the shard the span was tagged with, or NoShard when the
+// span carries no shard tag.
+func (s *Span) ShardID() ShardID {
+	if s.Shard == 0 {
+		return NoShard
+	}
+	return ShardID(s.Shard - 1)
+}
+
+// SetShard tags the span with a shard id (stored off-by-one; see Shard).
+func (s *Span) SetShard(id ShardID) {
+	if id >= 0 {
+		s.Shard = int(id) + 1
+	}
 }
 
 // Context returns the span's identity as a TraceContext for propagation.

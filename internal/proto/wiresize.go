@@ -61,6 +61,30 @@ func WireSize(msg any) int {
 		return msgOverhead + wordSize + len(m.Obj)
 	case DumpRep:
 		return msgOverhead + wordSize + objectCopySize(m.Copy)
+	case ShardMapReq:
+		return msgOverhead
+	case ShardMapRep:
+		return msgOverhead + shardMapSize(m.Map)
+	case MapUpdateReq:
+		return msgOverhead + shardMapSize(m.Map)
+	case MapUpdateRep:
+		return msgOverhead + wordSize
+	case SlotDumpReq:
+		return msgOverhead + wordSize*len(m.Slots)
+	case SlotDumpRep:
+		n := msgOverhead + wordSize
+		for _, c := range m.Copies {
+			n += objectCopySize(c)
+		}
+		return n
+	case InstallReq:
+		n := msgOverhead
+		for _, c := range m.Copies {
+			n += objectCopySize(c)
+		}
+		return n
+	case InstallRep:
+		return msgOverhead + wordSize
 	default:
 		return msgOverhead
 	}
@@ -75,6 +99,14 @@ const (
 	// content estimate (concrete-type tag).
 	valueBaseSize = 8
 )
+
+func shardMapSize(m ShardMap) int {
+	n := wordSize + 2*wordSize*len(m.Slots)
+	for _, s := range m.Shards {
+		n += wordSize + wordSize*len(s.Members)
+	}
+	return n
+}
 
 func tcSize(tc TraceContext) int {
 	if !tc.Valid() {

@@ -53,11 +53,67 @@ type Replica struct {
 	st      *store.Store
 	metrics Metrics
 	obs     *obs.Registry // nil disables service-time histograms
+
+	// smap is the shard map this replica serves under (nil until one is
+	// installed — the unsharded default, which owns everything). ownShard
+	// caches the shard this node belongs to as ShardID+1 (0 = none/unsharded)
+	// for span tagging.
+	smap     atomic.Pointer[proto.ShardMap]
+	ownShard atomic.Int64
 }
 
 // New builds a replica for node id with an empty store.
 func New(id proto.NodeID) *Replica {
-	return &Replica{ID: id, st: store.New()}
+	r := &Replica{ID: id, st: store.New()}
+	// The store consults the replica's current map for every validated item:
+	// a copy of an object that migrated away is frozen, not authoritative.
+	r.st.SetOwnership(r.ownsObj)
+	return r
+}
+
+// ownsObj reports whether this node may serve obj under the current map.
+func (r *Replica) ownsObj(obj proto.ObjectID) bool {
+	m := r.smap.Load()
+	return m == nil || m.Owns(r.ID, obj)
+}
+
+// ShardMap returns the map this replica holds (zero map when unsharded).
+func (r *Replica) ShardMap() proto.ShardMap {
+	if m := r.smap.Load(); m != nil {
+		return *m
+	}
+	return proto.ShardMap{}
+}
+
+// SetShardMap installs m if it is newer than the held map (idempotent;
+// duplicate and out-of-order pushes converge on the highest epoch). It
+// returns the epoch held afterwards.
+func (r *Replica) SetShardMap(m proto.ShardMap) uint64 {
+	for {
+		cur := r.smap.Load()
+		if cur != nil && cur.Epoch >= m.Epoch {
+			return cur.Epoch
+		}
+		c := m.Clone()
+		if r.smap.CompareAndSwap(cur, &c) {
+			own := int64(0)
+			for _, s := range c.Shards {
+				if c.Member(s.ID, r.ID) {
+					own = int64(s.ID) + 1
+					break
+				}
+			}
+			r.ownShard.Store(own)
+			return c.Epoch
+		}
+	}
+}
+
+// tagShard marks a serve span with this node's own shard (sharded runs only).
+func (r *Replica) tagShard(sp *obs.ActiveSpan) {
+	if own := r.ownShard.Load(); own > 0 {
+		sp.SetShard(proto.ShardID(own - 1))
+	}
 }
 
 // WithObs attaches an observability registry recording per-request service
@@ -93,6 +149,7 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 	switch m := req.(type) {
 	case proto.ReadReq:
 		sp := r.obs.StartRemoteSpan(proto.SpanServeRead, r.ID, m.TC)
+		r.tagShard(&sp)
 		t0 := r.obs.Start()
 		rep := r.handleRead(m)
 		r.obs.ObserveSince(obs.SiteServeRead, t0)
@@ -106,7 +163,10 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 			// epoch this replica wants aborted.
 			sp.SetDepth(rep.AbortDepth)
 			sp.SetChk(rep.AbortChk)
-			if rep.LockOnly {
+			switch {
+			case rep.WrongShard:
+				sp.SetNote("wrong-shard")
+			case rep.LockOnly:
 				sp.SetNote("lock-only")
 			}
 		}
@@ -114,6 +174,7 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		return rep
 	case proto.BatchReadReq:
 		sp := r.obs.StartRemoteSpan(proto.SpanServeRead, r.ID, m.TC)
+		r.tagShard(&sp)
 		t0 := r.obs.Start()
 		rep := r.handleBatchRead(m)
 		r.obs.ObserveSince(obs.SiteServeRead, t0)
@@ -133,6 +194,8 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 			sp.SetDepth(rep.AbortDepth)
 			sp.SetChk(rep.AbortChk)
 			switch {
+			case rep.WrongShard:
+				sp.SetNote("wrong-shard")
 			case rep.NeedFull:
 				sp.SetNote("need-full")
 			case rep.LockOnly:
@@ -143,7 +206,19 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		return rep
 	case proto.PrepareReq:
 		sp := r.obs.StartRemoteSpan(proto.SpanServePrepare, r.ID, m.TC)
+		r.tagShard(&sp)
 		r.metrics.Prepares.Add(1)
+		if !r.ownsPrepare(m) {
+			// This node is not (or no longer) the home of part of the
+			// footprint — stale client map or migration fence. Vote no
+			// without taking any locks; the client refreshes and re-routes.
+			r.metrics.PrepareRejects.Add(1)
+			sp.SetTxn(m.Txn)
+			sp.SetOK(false)
+			sp.SetNote("wrong-shard")
+			sp.End()
+			return proto.PrepareRep{OK: false, WrongShard: true}
+		}
 		t0 := r.obs.Start()
 		ok := r.st.PrepareOpen(m.Txn, m.Reads, m.Writes, m.AbsLocks, m.Owner)
 		r.obs.ObserveSince(obs.SiteServePrepare, t0)
@@ -162,7 +237,11 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		sp.End()
 		return proto.ReleaseRep{}
 	case proto.DecideReq:
+		// Decisions are always accepted, ownership or not: an in-flight 2PC
+		// that prepared here before a migration fence must still be able to
+		// release its locks (or install its writes) at this member.
 		sp := r.obs.StartRemoteSpan(proto.SpanServeDecide, r.ID, m.TC)
+		r.tagShard(&sp)
 		if m.Commit {
 			r.metrics.CommitDecisions.Add(1)
 			r.st.Commit(m.Txn, m.Writes)
@@ -189,26 +268,82 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		return proto.DumpRep{OK: ok, Copy: c}
 	case proto.TraceDumpReq:
 		return proto.TraceDumpRep{Node: r.ID, Spans: r.obs.Spans().Spans()}
+	case proto.ShardMapReq:
+		return proto.ShardMapRep{Map: r.ShardMap()}
+	case proto.MapUpdateReq:
+		return proto.MapUpdateRep{Epoch: r.SetShardMap(m.Map)}
+	case proto.SlotDumpReq:
+		copies, protected := r.st.DumpSlots(m.Slots)
+		return proto.SlotDumpRep{Copies: copies, Protected: protected}
+	case proto.InstallReq:
+		return proto.InstallRep{Installed: r.st.InstallNewer(m.Copies)}
 	default:
 		panic("server: unknown request type")
 	}
 }
 
+// ownsPrepare reports whether this node is the current home of every object
+// (and abstract lock — they route by name, like objects) in a prepare.
+func (r *Replica) ownsPrepare(m proto.PrepareReq) bool {
+	smap := r.smap.Load()
+	if smap == nil || !smap.Sharded() {
+		return true
+	}
+	for _, it := range m.Reads {
+		if !smap.Owns(r.ID, it.ID) {
+			return false
+		}
+	}
+	for _, w := range m.Writes {
+		if !smap.Owns(r.ID, w.ID) {
+			return false
+		}
+	}
+	for _, l := range m.AbsLocks {
+		if !smap.Owns(r.ID, proto.ObjectID(l)) {
+			return false
+		}
+	}
+	return true
+}
+
 // handleRead performs read-quorum validation (when the request carries a
 // data set) followed by the object fetch, per Algorithm 2's remote section.
+//
+// Ownership rules (sharded runs): a fetch of an object not homed here is a
+// hard wrong-shard denial — the client must re-route. A validation-only
+// probe (empty Obj) is the commit-time certification of one shard's slice of
+// a footprint, so every item must be homed here: any that is not is also a
+// hard denial (the client refilters under a fresh map and re-probes).
+// Footprint items of *fetch* requests, by contrast, may legitimately name
+// other shards' objects (the global footprint log ships everywhere); the
+// store skips ones it knows but no longer owns and flags the advisory, which
+// is only propagated on success so it never masks a real conflict.
 func (r *Replica) handleRead(m proto.ReadReq) proto.ReadRep {
 	r.metrics.Reads.Add(1)
+	if m.Obj == "" { // validation-only probe
+		for _, it := range m.DataSet {
+			if !r.ownsObj(it.ID) {
+				return proto.ReadRep{OK: false, WrongShard: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+			}
+		}
+	} else if !r.ownsObj(m.Obj) {
+		return proto.ReadRep{OK: false, WrongShard: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+	}
+	advisory := false
 	if m.DataSet != nil {
-		if res := r.st.Validate(m.Txn, m.DataSet); !res.OK {
+		res := r.st.Validate(m.Txn, m.DataSet)
+		if !res.OK {
 			r.metrics.ReadAborts.Add(1)
 			return proto.ReadRep{OK: false, AbortDepth: res.AbortDepth, AbortChk: res.AbortChk, LockOnly: res.LockOnly}
 		}
+		advisory = res.WrongShard
 	}
-	if m.Obj == "" { // validation-only probe
-		return proto.ReadRep{OK: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+	if m.Obj == "" {
+		return proto.ReadRep{OK: true, WrongShard: advisory, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
 	}
 	copyv := r.st.Read(m.Txn, m.Obj, m.Write, m.Depth == 0)
-	return proto.ReadRep{OK: true, Copy: copyv, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+	return proto.ReadRep{OK: true, Copy: copyv, WrongShard: advisory, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
 }
 
 // handleBatchRead is handleRead for the multi-object, delta-validated path:
@@ -217,8 +352,18 @@ func (r *Replica) handleRead(m proto.ReadReq) proto.ReadRep {
 // then every requested object fetched under the same metrics and PR/PW
 // recording rules as a single read. NeedFull denials are a resync signal,
 // not a conflict, so they don't count as read aborts.
+// Ownership rules mirror handleRead: every *requested* object must be homed
+// here (hard wrong-shard denial otherwise), while disowned items inside the
+// validation session are skipped by the store and surface as an advisory on
+// success only.
 func (r *Replica) handleBatchRead(m proto.BatchReadReq) proto.BatchReadRep {
 	r.metrics.Reads.Add(1)
+	for _, id := range m.Objs {
+		if !r.ownsObj(id) {
+			return proto.BatchReadRep{WrongShard: true, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+		}
+	}
+	advisory := false
 	if m.Rqv {
 		res, needFull := r.st.ValidateDelta(m.Txn, m.From, m.Delta)
 		if needFull {
@@ -228,10 +373,11 @@ func (r *Replica) handleBatchRead(m proto.BatchReadReq) proto.BatchReadRep {
 			r.metrics.ReadAborts.Add(1)
 			return proto.BatchReadRep{AbortDepth: res.AbortDepth, AbortChk: res.AbortChk, LockOnly: res.LockOnly}
 		}
+		advisory = res.WrongShard
 	}
 	copies := make([]proto.ObjectCopy, len(m.Objs))
 	for i, id := range m.Objs {
 		copies[i] = r.st.Read(m.Txn, id, m.Write, m.Depth == 0)
 	}
-	return proto.BatchReadRep{OK: true, Copies: copies, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
+	return proto.BatchReadRep{OK: true, Copies: copies, WrongShard: advisory, AbortDepth: proto.NoDepth, AbortChk: proto.NoChk}
 }

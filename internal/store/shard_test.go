@@ -1,0 +1,126 @@
+package store
+
+import (
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+// ownOnly builds an ownership predicate admitting exactly the given ids.
+func ownOnly(ids ...proto.ObjectID) func(proto.ObjectID) bool {
+	set := make(map[proto.ObjectID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	return func(id proto.ObjectID) bool { return set[id] }
+}
+
+func TestOwnershipValidateAdvisory(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("mine", 3, 0), cp("moved", 5, 0)})
+	s.SetOwnership(ownOnly("mine"))
+
+	// A disowned known copy is skipped with the advisory set, even when its
+	// version would have failed validation — the frozen copy is not
+	// authoritative any more.
+	res := s.Validate(1, []proto.DataItem{item("mine", 3, 0, proto.NoChk), item("moved", 1, 0, proto.NoChk)})
+	if !res.OK {
+		t.Fatalf("owned item is current, validation must pass: %+v", res)
+	}
+	if !res.WrongShard {
+		t.Fatal("disowned known copy must raise the WrongShard advisory")
+	}
+	// Unknown items stay a plain skip, no advisory.
+	res = s.Validate(1, []proto.DataItem{item("mine", 3, 0, proto.NoChk), item("elsewhere", 9, 0, proto.NoChk)})
+	if !res.OK || res.WrongShard {
+		t.Fatalf("unknown item must skip silently: %+v", res)
+	}
+	// A stale owned item still fails validation outright.
+	res = s.Validate(1, []proto.DataItem{item("mine", 1, 0, proto.NoChk)})
+	if res.OK {
+		t.Fatal("stale owned item must fail validation")
+	}
+}
+
+func TestOwnershipPrepareVetoes(t *testing.T) {
+	s := New()
+	s.Load([]proto.ObjectCopy{cp("mine", 3, 0), cp("moved", 5, 0)})
+	s.SetOwnership(ownOnly("mine"))
+
+	// Writes to a disowned object are refused: installing there would fork
+	// the object's history across shards.
+	if s.PrepareOpen(1, nil, []proto.ObjectCopy{cp("moved", 6, 1)}, nil, 1) {
+		t.Fatal("prepare must refuse a disowned write")
+	}
+	// A read footprint naming a disowned copy is refused too (the advisory
+	// veto): this replica can no longer certify it.
+	if s.PrepareOpen(2, []proto.DataItem{item("moved", 5, 0, proto.NoChk)}, nil, nil, 2) {
+		t.Fatal("prepare must refuse a disowned read certification")
+	}
+	// Abstract locks route by name through the same predicate.
+	if s.PrepareOpen(3, nil, nil, []string{"moved"}, 3) {
+		t.Fatal("prepare must refuse a disowned abstract lock")
+	}
+	// A fully-owned footprint still prepares.
+	if !s.PrepareOpen(4, []proto.DataItem{item("mine", 3, 0, proto.NoChk)}, []proto.ObjectCopy{cp("mine", 4, 1)}, nil, 4) {
+		t.Fatal("owned prepare must succeed")
+	}
+	s.Abort(4, []proto.ObjectID{"mine"})
+
+	// Clearing ownership restores own-everything.
+	s.SetOwnership(nil)
+	if !s.PrepareOpen(5, nil, []proto.ObjectCopy{cp("moved", 6, 1)}, nil, 5) {
+		t.Fatal("nil predicate must own everything again")
+	}
+}
+
+func TestDumpSlots(t *testing.T) {
+	s := New()
+	objs := []proto.ObjectCopy{cp("a", 1, 0), cp("b", 2, 0), cp("c", 3, 0)}
+	s.Load(objs)
+
+	var all []int
+	for i := 0; i < proto.NumSlots; i++ {
+		all = append(all, i)
+	}
+	copies, protected := s.DumpSlots(all)
+	if len(copies) != 3 || protected {
+		t.Fatalf("full dump: %d copies, protected=%v", len(copies), protected)
+	}
+
+	// Dump only object a's slot: a must appear, and only objects of the
+	// wanted slots may appear.
+	want := proto.SlotOf("a")
+	copies, _ = s.DumpSlots([]int{want})
+	found := false
+	for _, c := range copies {
+		if proto.SlotOf(c.ID) != want {
+			t.Fatalf("dump of slot %d returned %s (slot %d)", want, c.ID, proto.SlotOf(c.ID))
+		}
+		if c.ID == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("dump of a's slot must include a")
+	}
+
+	// Empty want-set dumps nothing.
+	if copies, _ = s.DumpSlots(nil); len(copies) != 0 {
+		t.Fatalf("empty want-set dumped %d copies", len(copies))
+	}
+
+	// A prepared (protected) object in a dumped slot sets the flag, so the
+	// migration drain knows to wait for the in-flight decision.
+	if !s.Prepare(9, nil, []proto.ObjectCopy{cp("a", 2, 1)}) {
+		t.Fatal("prepare failed")
+	}
+	if _, protected = s.DumpSlots([]int{int(proto.SlotOf("a"))}); !protected {
+		t.Fatal("dump must report the protected copy")
+	}
+	// Slots without the protected object don't raise the flag.
+	other := (int(proto.SlotOf("a")) + 1) % proto.NumSlots
+	if _, protected = s.DumpSlots([]int{other}); protected {
+		t.Fatal("unrelated slot must not report protection")
+	}
+}

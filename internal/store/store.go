@@ -48,6 +48,15 @@ type Store struct {
 	absLocks map[string]*absLock      // abstract locks (open nesting), keyed by name
 	absPrep  map[proto.TxnID][]string // locks acquired by an in-flight prepare, keyed by the preparing transaction
 	sessions map[proto.TxnID][]proto.DataItem // delta-validation sessions: accumulated footprint per transaction, in log order
+
+	// owns is the shard-ownership predicate (nil means this replica owns
+	// everything — the unsharded default). A committed copy of an object
+	// this replica no longer owns is frozen, not authoritative: the object's
+	// home shard keeps committing new versions this replica never sees, so
+	// validating against the local copy would certify stale reads. Disowned
+	// items are therefore skipped by validation (with a WrongShard advisory)
+	// and veto prepares outright.
+	owns func(proto.ObjectID) bool
 }
 
 // New returns an empty store.
@@ -58,6 +67,20 @@ func New() *Store {
 		absPrep:  make(map[proto.TxnID][]string),
 		sessions: make(map[proto.TxnID][]proto.DataItem),
 	}
+}
+
+// SetOwnership installs the shard-ownership predicate (nil restores the
+// own-everything default). The predicate must be safe for concurrent use; it
+// is consulted under the store lock.
+func (s *Store) SetOwnership(owns func(proto.ObjectID) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.owns = owns
+}
+
+// ownsLocked reports whether this replica currently owns id.
+func (s *Store) ownsLocked(id proto.ObjectID) bool {
+	return s.owns == nil || s.owns(id)
 }
 
 func (s *Store) rec(id proto.ObjectID) *record {
@@ -179,6 +202,13 @@ type ValidationResult struct {
 	// simply be racing a commit in flight, which contention managers can
 	// choose to wait out instead of aborting.
 	LockOnly bool
+	// WrongShard reports that some item is known here but no longer owned
+	// here (it migrated away, or is mid-migration). Such items are skipped —
+	// the local copy is frozen, not authoritative — so when OK is also true
+	// the result certifies only the owned part of the footprint. The caller
+	// must treat that as an advisory: the requester's read-only local commit
+	// is no longer covered and it must revalidate per shard at commit time.
+	WrongShard bool
 }
 
 // Validate runs the read-quorum validation of Algorithms 1/4: an item is
@@ -259,6 +289,13 @@ func (s *Store) validateLocked(self proto.TxnID, items []proto.DataItem) Validat
 		if !ok {
 			continue // replica is stale for this object; staleness is never a conflict
 		}
+		if !s.ownsLocked(it.ID) {
+			// Known but disowned: the copy is frozen at its pre-migration
+			// version, so neither a pass nor a fail against it means
+			// anything. Skip it and flag the advisory.
+			res.WrongShard = true
+			continue
+		}
 		versionConflict := r.copyv.Version > it.Version
 		conflict := versionConflict || (r.protected && r.protector != self)
 		if !conflict {
@@ -326,15 +363,27 @@ func (s *Store) Prepare(txn proto.TxnID, reads []proto.DataItem, writes []proto.
 func (s *Store) PrepareOpen(txn proto.TxnID, reads []proto.DataItem, writes []proto.ObjectCopy, absLocks []string, owner proto.TxnID) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if res := s.validateLocked(txn, reads); !res.OK {
+	// A prepare vote must cover its whole slice of the footprint: an item
+	// this replica does not own cannot be voted on at all (the server's
+	// map-level check answers WrongShard before getting here; this guards
+	// the race where ownership flipped in between).
+	if res := s.validateLocked(txn, reads); !res.OK || res.WrongShard {
 		return false
 	}
 	for _, w := range writes {
+		if !s.ownsLocked(w.ID) {
+			return false
+		}
 		r, ok := s.objs[w.ID]
 		if !ok {
 			continue
 		}
 		if r.copyv.Version > w.Version || (r.protected && r.protector != txn) {
+			return false
+		}
+	}
+	for _, l := range absLocks {
+		if !s.ownsLocked(proto.ObjectID(l)) {
 			return false
 		}
 	}
@@ -448,6 +497,30 @@ func (s *Store) Abort(txn proto.TxnID, ids []proto.ObjectID) {
 		delete(r.pw, txn)
 		delete(r.pr, txn)
 	}
+}
+
+// DumpSlots returns deep copies of every committed object hashing into one
+// of the given slots, plus whether any of them is still protected by an
+// in-flight prepare. The migration drain loops over it: copies move with
+// InstallNewer semantics, and ownership only transfers once a pass installs
+// nothing new and nothing is protected (every prepared commit has decided).
+func (s *Store) DumpSlots(slots []int) ([]proto.ObjectCopy, bool) {
+	want := make(map[int]bool, len(slots))
+	for _, sl := range slots {
+		want[sl] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []proto.ObjectCopy
+	protected := false
+	for id, r := range s.objs {
+		if !want[proto.SlotOf(id)] {
+			continue
+		}
+		out = append(out, r.copyv.Clone())
+		protected = protected || r.protected
+	}
+	return out, protected
 }
 
 // DumpAll returns deep copies of every committed object (recovery sync and

@@ -84,6 +84,33 @@ type (
 	CheckResult = obs.CheckResult
 )
 
+// Sharding re-exports (see internal/proto/shard.go and DESIGN.md §12): the
+// object space can be split into independent quorum groups behind a
+// versioned placement map.
+type (
+	// ShardID identifies one quorum group of a sharded cluster.
+	ShardID = proto.ShardID
+	// ShardSpec is one shard's membership.
+	ShardSpec = proto.ShardSpec
+	// ShardMap is the versioned slot→shard placement map.
+	ShardMap = proto.ShardMap
+)
+
+// NoShard is the sentinel "no shard" id.
+const NoShard = proto.NoShard
+
+// PartitionMap builds an initial shard map dealing the object slots
+// round-robin over n contiguous node groups (see proto.PartitionMap).
+func PartitionMap(nodes []NodeID, shards int) ShardMap {
+	return proto.PartitionMap(nodes, shards)
+}
+
+// FetchShardMap bootstraps a client's placement map from the first of nodes
+// that answers (see core.FetchShardMap).
+func FetchShardMap(ctx context.Context, trans cluster.Transport, from NodeID, nodes []NodeID) (ShardMap, error) {
+	return core.FetchShardMap(ctx, trans, from, nodes)
+}
+
 // NewRegistry returns an empty observability registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
@@ -132,6 +159,9 @@ const (
 	CauseCommitConflict = obs.CauseCommitConflict
 	// CauseNodeDown: a quorum member was unreachable.
 	CauseNodeDown = obs.CauseNodeDown
+	// CauseWrongShard: a commit participant's shard no longer homed part of
+	// the footprint (stale map or migration fence).
+	CauseWrongShard = obs.CauseWrongShard
 )
 
 // AbortCauses lists all abort causes in presentation order.
@@ -234,6 +264,13 @@ type ClusterConfig struct {
 	// spreading read load across the tree. The default assigns everyone
 	// the canonical quorum, as in the paper's main experiments.
 	SpreadQuorums bool
+	// Shards splits the object space into that many independent quorum
+	// groups: the nodes are dealt into contiguous groups, each running its
+	// own (smaller) quorum tree, and a versioned shard map routes every
+	// object to its group. Cross-shard transactions commit via 2PC over the
+	// union of the touched shards' write quorums. 0 or 1 (the default) is
+	// the classic single-tree cluster.
+	Shards int
 	// MaxRetries bounds attempts per transaction (0 = unlimited).
 	MaxRetries int
 	// LockWaitRetries is the contention-manager policy for lock-only read
@@ -273,6 +310,12 @@ type Cluster struct {
 
 	mu       sync.Mutex
 	runtimes map[NodeID]*Runtime
+
+	// smap is the live placement map of a sharded cluster (zero when
+	// unsharded). Guarded by its own lock: runtimes re-read it through the
+	// provider closure while refreshAll holds mu.
+	smapMu sync.RWMutex
+	smap   proto.ShardMap
 }
 
 // NewCluster builds and wires a simulated cluster.
@@ -311,7 +354,44 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.WrapTransport != nil {
 		c.callTrans = cfg.WrapTransport(c.callTrans)
 	}
+	if cfg.Shards > 1 {
+		ids := make([]NodeID, cfg.Nodes)
+		for i := range ids {
+			ids[i] = NodeID(i)
+		}
+		m := proto.PartitionMap(ids, cfg.Shards)
+		if !m.Sharded() {
+			return nil, fmt.Errorf("qrdtm: cannot partition %d nodes into %d shards", cfg.Nodes, cfg.Shards)
+		}
+		c.smap = m
+		for _, r := range c.Replicas {
+			r.SetShardMap(m)
+		}
+	}
 	return c, nil
+}
+
+// Sharded reports whether the cluster routes through a shard map.
+func (c *Cluster) Sharded() bool {
+	c.smapMu.RLock()
+	defer c.smapMu.RUnlock()
+	return c.smap.Sharded()
+}
+
+// ShardMap returns a copy of the cluster's live placement map (zero when
+// unsharded).
+func (c *Cluster) ShardMap() ShardMap {
+	c.smapMu.RLock()
+	defer c.smapMu.RUnlock()
+	return c.smap.Clone()
+}
+
+// setShardMap swings the live map (reconfiguration commit point for new
+// runtimes and shard-aware helpers).
+func (c *Cluster) setShardMap(m ShardMap) {
+	c.smapMu.Lock()
+	c.smap = m
+	c.smapMu.Unlock()
 }
 
 // quorumProvider returns the provider runtimes are built against.
@@ -325,6 +405,21 @@ func (c *Cluster) quorumProvider() core.QuorumProvider {
 	}
 	return core.TreeQuorums{
 		Tree:   c.Tree,
+		Alive:  func(n NodeID) bool { return !c.Transport.Down(n) },
+		Choice: choice,
+	}
+}
+
+// shardProvider returns the placement provider of a sharded cluster: one
+// independent quorum tree per shard, resolved against the cluster's live map
+// so a refresh after AddShard sees the new placement.
+func (c *Cluster) shardProvider() core.ShardProvider {
+	var choice func(NodeID) int
+	if c.cfg.SpreadQuorums {
+		choice = func(n NodeID) int { return int(n) }
+	}
+	return core.TreeShardQuorums{
+		Map:    func() (ShardMap, error) { return c.ShardMap(), nil },
 		Alive:  func(n NodeID) bool { return !c.Transport.Down(n) },
 		Choice: choice,
 	}
@@ -345,10 +440,9 @@ func (c *Cluster) Runtime(node NodeID) *Runtime {
 	if rt, ok := c.runtimes[node]; ok {
 		return rt
 	}
-	rt, err := core.NewRuntime(core.Config{
+	cfg := core.Config{
 		Node:            node,
 		Transport:       c.callTrans,
-		Quorums:         c.quorumProvider(),
 		Mode:            c.cfg.Mode,
 		IDs:             c.ids,
 		Metrics:         c.metrics,
@@ -360,7 +454,13 @@ func (c *Cluster) Runtime(node NodeID) *Runtime {
 		LockWaitRetries: c.cfg.LockWaitRetries,
 		LegacyReads:     c.cfg.LegacyReads,
 		Obs:             c.cfg.Obs,
-	})
+	}
+	if c.Sharded() {
+		cfg.Shards = c.shardProvider()
+	} else {
+		cfg.Quorums = c.quorumProvider()
+	}
+	rt, err := core.NewRuntime(cfg)
 	if err != nil {
 		// Runtime construction only fails when no quorum exists, which on
 		// a fresh cluster is a configuration bug.
@@ -373,11 +473,32 @@ func (c *Cluster) Runtime(node NodeID) *Runtime {
 // Metrics returns the cluster-wide client metrics.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
 
-// Load installs objects on every replica (bootstrap/population). It bypasses
-// concurrency control and must not race with running transactions.
+// Load installs objects for bootstrap/population: on every replica when
+// unsharded, and only on the owning shard's members when sharded (a copy on
+// a non-owner would sit frozen and trip the disowned-copy advisory on every
+// footprint that mentions it). It bypasses concurrency control and must not
+// race with running transactions.
 func (c *Cluster) Load(copies []ObjectCopy) {
-	for _, r := range c.Replicas {
-		r.Store().Load(copies)
+	m := c.ShardMap()
+	if !m.Sharded() {
+		for _, r := range c.Replicas {
+			r.Store().Load(copies)
+		}
+		return
+	}
+	byShard := make(map[ShardID][]ObjectCopy)
+	for _, cp := range copies {
+		s := m.ShardFor(cp.ID)
+		byShard[s] = append(byShard[s], cp)
+	}
+	for s, part := range byShard {
+		spec, ok := m.Shard(s)
+		if !ok {
+			continue
+		}
+		for _, n := range spec.Members {
+			c.Replicas[n].Store().Load(part)
+		}
 	}
 }
 
@@ -411,6 +532,9 @@ func (c *Cluster) Fail(node NodeID) error {
 // it, repeating until a pass installs nothing and no sync-quorum member
 // holds an in-flight prepare — at which point every commit that could have
 // bypassed the node has landed and been copied over.
+// In a sharded cluster the sync draws from the node's own shard: its members
+// are the only replicas that (should) hold the node's objects, so the
+// explicit member set replaces the whole-cluster tree quorum.
 func (c *Cluster) Recover(ctx context.Context, node NodeID) error {
 	alive := func(n NodeID) bool { return !c.Transport.Down(n) && n != node }
 	if err := ctx.Err(); err != nil {
@@ -445,7 +569,7 @@ func (c *Cluster) Recover(ctx context.Context, node NodeID) error {
 			return err
 		}
 		pending := false
-		if rq, err := c.Tree.ReadQuorum(alive); err == nil {
+		if rq, err := c.syncQuorum(node, alive); err == nil {
 			for _, n := range rq {
 				if c.Replicas[n].Store().AnyProtected() {
 					pending = true
@@ -468,7 +592,7 @@ func (c *Cluster) Recover(ctx context.Context, node NodeID) error {
 // the sync monotone so it can never clobber a version a racing commit
 // decision already installed on the node.
 func (c *Cluster) syncFromQuorum(node NodeID, alive func(NodeID) bool) (int, error) {
-	rq, err := c.Tree.ReadQuorum(alive)
+	rq, err := c.syncQuorum(node, alive)
 	if err != nil {
 		return 0, err
 	}
@@ -487,6 +611,25 @@ func (c *Cluster) syncFromQuorum(node NodeID, alive func(NodeID) bool) (int, err
 	return c.Replicas[node].Store().InstallNewer(copies), nil
 }
 
+// syncQuorum picks the member set a recovering node syncs from: the whole
+// cluster's tree quorum when unsharded, the node's own shard's group quorum
+// when sharded (explicit members — other shards neither hold nor need its
+// objects). A sharded node belonging to no shard syncs from nobody.
+func (c *Cluster) syncQuorum(node NodeID, alive func(NodeID) bool) ([]NodeID, error) {
+	m := c.ShardMap()
+	if !m.Sharded() {
+		return c.Tree.ReadQuorum(alive)
+	}
+	for _, spec := range m.Shards {
+		for _, n := range spec.Members {
+			if n == node {
+				return quorum.NewGroup(spec.Members).ReadQuorum(alive)
+			}
+		}
+	}
+	return nil, nil
+}
+
 func (c *Cluster) refreshAll() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -499,13 +642,25 @@ func (c *Cluster) refreshAll() error {
 }
 
 // ReadCommitted returns the globally latest committed copy of id, resolved
-// through a read quorum (tooling, tests and examples; not transactional).
+// through a read quorum (tooling, tests and examples; not transactional). In
+// a sharded cluster the quorum is the owning shard's — its explicit member
+// set, not the whole-cluster tree.
 func (c *Cluster) ReadCommitted(ctx context.Context, id ObjectID) (ObjectCopy, error) {
 	if err := ctx.Err(); err != nil {
 		return ObjectCopy{}, err
 	}
 	alive := func(n NodeID) bool { return !c.Transport.Down(n) }
-	rq, err := c.Tree.ReadQuorum(alive)
+	var rq []NodeID
+	var err error
+	if m := c.ShardMap(); m.Sharded() {
+		spec, ok := m.Shard(m.ShardFor(id))
+		if !ok {
+			return ObjectCopy{}, fmt.Errorf("qrdtm: object %s maps to an unknown shard", id)
+		}
+		rq, err = quorum.NewGroup(spec.Members).ReadQuorum(alive)
+	} else {
+		rq, err = c.Tree.ReadQuorum(alive)
+	}
 	if err != nil {
 		return ObjectCopy{}, err
 	}
@@ -517,4 +672,32 @@ func (c *Cluster) ReadCommitted(ctx context.Context, id ObjectID) (ObjectCopy, e
 		}
 	}
 	return best, nil
+}
+
+// AddShard reconfigures a live sharded cluster online: it carves the given
+// slots out of their current shards and moves them — traffic still flowing —
+// to a shard with the given members, which may be brand new (id ==
+// len(ShardMap().Shards)) or an existing shard being rebalanced onto. The
+// two-epoch migration protocol (fence, drain, flip; see core.Reshard and
+// DESIGN.md §12) guarantees no committed write is lost and no transaction
+// observes the move except as WrongShard retries. On success every runtime's
+// quorums are refreshed against the new map.
+func (c *Cluster) AddShard(ctx context.Context, id ShardID, members []NodeID, slots []int) error {
+	cur := c.ShardMap()
+	if !cur.Sharded() {
+		return fmt.Errorf("qrdtm: AddShard requires a sharded cluster (ClusterConfig.Shards > 1)")
+	}
+	all := make([]NodeID, len(c.Replicas))
+	for i := range c.Replicas {
+		all[i] = NodeID(i)
+	}
+	spec := ShardSpec{ID: id, Members: members}
+	// The sim transport only uses `from` for latency/tx-time attribution;
+	// node 0 stands in for the (external) reconfiguration controller.
+	final, err := core.Reshard(ctx, c.Transport, 0, all, cur, spec, slots)
+	if err != nil {
+		return err
+	}
+	c.setShardMap(final)
+	return c.refreshAll()
 }
