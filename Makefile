@@ -37,9 +37,12 @@ bench:
 bench-quick:
 	$(GO) test -bench='LocalTxn|StoreValidate|QuorumConstruction' -benchmem .
 
-# Per-protocol latency percentiles and abort-cause breakdown → BENCH_obs.json.
+# Per-protocol latency percentiles, abort-cause breakdown, commit-phase
+# decomposition and per-slot heat → BENCH_obs.json. The grep guards the
+# phase table: a run that silently lost its span stream has no "phases".
 bench-obs:
 	$(GO) run ./cmd/qr-bench -exp obs -quick
+	@grep -q '"phases"' BENCH_obs.json || { echo "bench-obs: BENCH_obs.json missing phase decomposition" >&2; exit 1; }
 
 # Traced run per protocol, invariant-checked → BENCH_trace.json (Perfetto).
 bench-trace:

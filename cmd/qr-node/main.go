@@ -57,13 +57,14 @@ func main() {
 	callTimeout := flag.Duration("call-timeout", 2*time.Second, "per-attempt call timeout (client mode; 0 disables)")
 	admin := flag.String("admin", "", "admin HTTP address serving /metrics, /healthz, /trace, /debug/pprof/ (empty disables)")
 	trace := flag.Bool("trace", false, "record causal spans into a ring buffer (served at /trace and to TraceDump requests)")
+	audit := flag.Bool("audit", true, "run the streaming trace auditor over the span ring (effective with -trace / -trace-out; violations surface in /healthz)")
 	traceOut := flag.String("trace-out", "", "client mode: collect spans from every replica after the run and write Chrome trace-event JSON here (implies tracing)")
 	legacyWire := flag.Bool("legacy-wire", false, "client mode: speak the legacy one-call-per-connection gob protocol instead of pipelined binary frames (servers accept both)")
 	shards := flag.Int("shards", 0, "client mode: partition the object space into this many quorum groups (0/1 = one tree over all replicas)")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire, *shards); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire, *shards, *trace, *audit); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -80,9 +81,20 @@ func main() {
 	}
 	log.Printf("qr-node %d serving on %s", *id, srv.Addr())
 
+	var auditor *obs.Auditor
+	if *trace && *audit {
+		// Replica-side spans are all locally parented (each serve span's
+		// parent is the client round that carried the trace context), so the
+		// auditor checks what this node can see and flags the rest incomplete.
+		auditor = obs.NewAuditor(reg, obs.AuditorConfig{})
+		auditor.Start()
+		defer auditor.Stop()
+	}
+
 	if *admin != "" {
 		a := obs.NewAdmin().
 			WithRegistry(reg).
+			WithAuditor(auditor).
 			HealthSource(func() obs.Health {
 				return obs.Health{Status: "ok", Node: *id, Role: "replica"}
 			}).
@@ -124,7 +136,7 @@ func parseMode(s string) (core.Mode, error) {
 // traceRingSize holds roughly a thousand demo transactions' worth of spans.
 const traceRingSize = 1 << 16
 
-func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool, shards int) error {
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool, shards int, trace, audit bool) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -138,7 +150,11 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 		peers[proto.NodeID(i)] = strings.TrimSpace(a)
 	}
 
-	var tcpOpts []cluster.TCPOption
+	reg := obs.NewRegistry()
+	if trace || traceOut != "" {
+		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
+	}
+	tcpOpts := []cluster.TCPOption{cluster.WithObs(reg)}
 	if legacyWire {
 		tcpOpts = append(tcpOpts, cluster.WithLegacyWire())
 	}
@@ -150,9 +166,11 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 		MaxAttempts: retries,
 		CallTimeout: callTimeout,
 	})
-	reg := obs.NewRegistry()
-	if traceOut != "" {
-		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
+	var auditor *obs.Auditor
+	if audit && reg.Tracing() {
+		auditor = obs.NewAuditor(reg, obs.AuditorConfig{})
+		auditor.Start()
+		defer auditor.Stop()
 	}
 	cfg := core.Config{
 		Node:      proto.NodeID(0),
@@ -190,6 +208,7 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 	if admin != "" {
 		a := obs.NewAdmin().
 			WithRegistry(reg).
+			WithAuditor(auditor).
 			HealthSource(func() obs.Health {
 				up, down := tcp.PeerCounts()
 				return obs.Health{
@@ -295,6 +314,10 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 		if err := check.Err(); err != nil {
 			return err
 		}
+	}
+	if auditor != nil {
+		auditor.Stop() // idempotent; flushes so the printed stats are final
+		fmt.Printf("streaming audit: %s\n", auditor.Stats())
 	}
 	return nil
 }

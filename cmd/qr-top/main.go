@@ -1,0 +1,186 @@
+// Command qr-top watches a live QR-DTM cluster the way top watches a host:
+// it polls each node's admin endpoints (/metrics, /healthz, /heat) on an
+// interval and renders commit rate, latency percentiles, the commit
+// critical-path phase breakdown, per-slot heat and the streaming auditor's
+// verdict — everything DESIGN.md §13 calls the live introspection plane.
+//
+//	qr-node -id 0 -listen 127.0.0.1:7400 -admin 127.0.0.1:7500 -trace &
+//	...
+//	qr-top -nodes 127.0.0.1:7500,127.0.0.1:7501
+//
+// Pass -once for a single snapshot (scripts, CI) instead of the live screen.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"qrdtm/internal/obs"
+)
+
+func main() {
+	nodes := flag.String("nodes", "", "comma-separated admin addresses (host:port) to watch")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	topN := flag.Int("top", 5, "hottest slots to show per node")
+	flag.Parse()
+
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "qr-top: -nodes is required (comma-separated admin addresses)")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*nodes, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	prev := make(map[string]sample, len(addrs))
+	for {
+		var b strings.Builder
+		if !*once {
+			b.WriteString("\x1b[H\x1b[2J") // cursor home + clear screen
+		}
+		fmt.Fprintf(&b, "qr-top  %s  (%d nodes, every %v)\n\n",
+			time.Now().Format("15:04:05"), len(addrs), *interval)
+		for _, addr := range addrs {
+			renderNode(&b, client, addr, prev, *topN)
+		}
+		os.Stdout.WriteString(b.String())
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// sample is one poll's rate-relevant numbers, kept to difference the next
+// poll against.
+type sample struct {
+	at    time.Time
+	count uint64 // completed transactions (txn_latency observations)
+}
+
+// metricsDoc is the slice of the admin /metrics JSON document qr-top needs.
+type metricsDoc struct {
+	Obs  *obs.Snapshot `json:"obs"`
+	Node struct {
+		Role string `json:"role"`
+	} `json:"node"`
+}
+
+// heatDoc mirrors the /heat endpoint's document.
+type heatDoc struct {
+	Top  []obs.SlotHeat `json:"top"`
+	Skew float64        `json:"skew"`
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func renderNode(b *strings.Builder, client *http.Client, addr string, prev map[string]sample, topN int) {
+	var doc metricsDoc
+	if err := getJSON(client, "http://"+addr+"/metrics", &doc); err != nil {
+		fmt.Fprintf(b, "%-22s unreachable: %v\n\n", addr, err)
+		return
+	}
+	if doc.Obs == nil {
+		fmt.Fprintf(b, "%-22s no obs source on /metrics\n\n", addr)
+		return
+	}
+	snap := doc.Obs
+	role := doc.Node.Role
+	if role == "" {
+		role = "?"
+	}
+
+	// Health + audit verdict (best-effort; a bare "ok" body is fine too).
+	status := "ok"
+	var audit *obs.AuditStats
+	var health obs.Health
+	if err := getJSON(client, "http://"+addr+"/healthz", &health); err == nil && health.Status != "" {
+		status = health.Status
+		audit = health.Audit
+	}
+
+	txn := snap.Sites[obs.SiteTxnLatency.String()]
+	now := time.Now()
+	rate := 0.0
+	if p, ok := prev[addr]; ok && txn.Count >= p.count && now.After(p.at) {
+		rate = float64(txn.Count-p.count) / now.Sub(p.at).Seconds()
+	}
+	prev[addr] = sample{at: now, count: txn.Count}
+
+	fmt.Fprintf(b, "%-22s %-8s %-10s %8.1f txn/s   txns=%d\n", addr, role, status, rate, txn.Count)
+	fmt.Fprintf(b, "  txn    p50=%6.1fms p99=%6.1fms   commit p50=%6.1fms   read p50=%6.1fms\n",
+		txn.P50Ms, txn.P99Ms,
+		snap.Sites[obs.SiteCommitRTT.String()].P50Ms,
+		snap.Sites[obs.SiteReadRTT.String()].P50Ms)
+
+	// Critical-path phase sites: only shown once something was recorded.
+	prep := snap.Sites[obs.SitePhasePrepare.String()]
+	dec := snap.Sites[obs.SitePhaseDecide.String()]
+	qw := snap.Sites[obs.SiteQueueWait.String()]
+	lw := snap.Sites[obs.SiteLockWait.String()]
+	if prep.Count+dec.Count+qw.Count+lw.Count > 0 {
+		fmt.Fprintf(b, "  phases prepare p50=%6.2fms decide p50=%6.2fms queue-wait p50=%6.3fms lock-wait p50=%6.2fms\n",
+			prep.P50Ms, dec.P50Ms, qw.P50Ms, lw.P50Ms)
+	}
+
+	if len(snap.Gauges) > 0 {
+		names := make([]string, 0, len(snap.Gauges))
+		for n := range snap.Gauges {
+			// Per-peer inflight gauges get summarized by tcp_inflight_requests.
+			if strings.HasPrefix(n, "tcp_inflight_peer_") || strings.HasPrefix(n, "audit_") {
+				continue
+			}
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			parts := make([]string, 0, len(names))
+			for _, n := range names {
+				parts = append(parts, fmt.Sprintf("%s=%d", n, snap.Gauges[n]))
+			}
+			fmt.Fprintf(b, "  gauges %s\n", strings.Join(parts, " "))
+		}
+	}
+
+	if snap.SpanStats != nil {
+		fmt.Fprintf(b, "  spans  seen=%d dropped=%d cap=%d\n",
+			snap.SpanStats.Seen, snap.SpanStats.Dropped, snap.SpanStats.Cap)
+	}
+	if audit != nil {
+		fmt.Fprintf(b, "  audit  traces=%d violations=%d gaps=%d incomplete=%d\n",
+			audit.Traces, audit.Violations, audit.GapSpans, audit.Incomplete)
+	}
+
+	var heat heatDoc
+	if err := getJSON(client, "http://"+addr+"/heat", &heat); err == nil && len(heat.Top) > 0 {
+		rows := heat.Top
+		if topN > 0 && len(rows) > topN {
+			rows = rows[:topN]
+		}
+		parts := make([]string, 0, len(rows))
+		for _, s := range rows {
+			parts = append(parts, fmt.Sprintf("%d:%d(r%d/w%d/c%d)", s.Slot, s.Total, s.Reads, s.Writes, s.Conflicts))
+		}
+		fmt.Fprintf(b, "  heat   skew=%.1f  top %s\n", heat.Skew, strings.Join(parts, " "))
+	}
+	b.WriteByte('\n')
+}

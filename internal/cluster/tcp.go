@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 )
 
@@ -278,6 +279,7 @@ const maxIdleConnsPerPeer = 4
 type TCPTransport struct {
 	peers  map[proto.NodeID]string
 	legacy bool
+	obsReg *obs.Registry
 
 	mu     sync.Mutex
 	idle   map[proto.NodeID][]*tcpConn // legacy pool
@@ -319,6 +321,15 @@ func WithDialTimeout(d time.Duration) TCPOption {
 	return func(t *TCPTransport) { t.dialTimeout = d }
 }
 
+// WithObs attaches an observability registry. The transport then records the
+// mux write-queue depth at enqueue (SiteQueueDepth, frames already ahead) and
+// the enqueue-to-dequeue wait (SiteQueueWait) for every frame — the queueing
+// leg of the commit critical path — and registers gauges for the frame-buffer
+// pool and the in-flight request map (total and per peer).
+func WithObs(reg *obs.Registry) TCPOption {
+	return func(t *TCPTransport) { t.obsReg = reg }
+}
+
 // NewTCPTransport builds a transport that reaches each node at the given
 // address.
 func NewTCPTransport(peers map[proto.NodeID]string, opts ...TCPOption) *TCPTransport {
@@ -338,7 +349,51 @@ func NewTCPTransport(peers map[proto.NodeID]string, opts ...TCPOption) *TCPTrans
 	for _, o := range opts {
 		o(t)
 	}
+	if t.obsReg != nil {
+		t.obsReg.RegisterGauge("wire_framebuf_live", func() int64 {
+			live, _ := FrameBufStats()
+			return live
+		})
+		t.obsReg.RegisterGauge("wire_framebuf_allocated", func() int64 {
+			_, allocated := FrameBufStats()
+			return int64(allocated)
+		})
+		t.obsReg.RegisterGauge("tcp_inflight_requests", t.inflightTotal)
+		for id := range t.peers {
+			peer := id
+			t.obsReg.RegisterGauge(fmt.Sprintf("tcp_inflight_peer_%d", peer), func() int64 {
+				return t.inflightPeer(peer)
+			})
+		}
+	}
 	return t
+}
+
+// inflightTotal counts requests awaiting replies across every live
+// multiplexed connection.
+func (t *TCPTransport) inflightTotal() int64 {
+	t.mu.Lock()
+	conns := make([]*muxConn, 0, len(t.conns))
+	for _, mc := range t.conns {
+		conns = append(conns, mc)
+	}
+	t.mu.Unlock()
+	var n int64
+	for _, mc := range conns {
+		n += int64(mc.pendingCount())
+	}
+	return n
+}
+
+// inflightPeer counts requests awaiting replies on one peer's connection.
+func (t *TCPTransport) inflightPeer(to proto.NodeID) int64 {
+	t.mu.Lock()
+	mc := t.conns[to]
+	t.mu.Unlock()
+	if mc == nil {
+		return 0
+	}
+	return int64(mc.pendingCount())
 }
 
 // Legacy reports whether the transport speaks the legacy gob protocol.
@@ -553,8 +608,11 @@ func (t *TCPTransport) wireAttempt(ctx context.Context, mc *muxConn, body []byte
 	}
 	frame := getFrameBuf()
 	*frame = appendFrame((*frame)[:0], id, frameReq, body)
+	// Frames already queued ahead of this one: the backlog this call is about
+	// to wait behind. Sampled before blocking, so a full queue reads 64.
+	mc.obs.Observe(obs.SiteQueueDepth, int64(len(mc.wq)))
 	select {
-	case mc.wq <- frame:
+	case mc.wq <- queuedFrame{buf: frame, enq: mc.obs.Start()}:
 	case <-mc.deadCh:
 		mc.deregister(id)
 		putFrameBuf(frame)
@@ -599,7 +657,7 @@ func (t *TCPTransport) getMux(ctx context.Context, to proto.NodeID) (mc *muxConn
 	if err != nil {
 		return nil, false, err
 	}
-	fresh := newMuxConn(&countingConn{Conn: conn, bytes: &t.bytes})
+	fresh := newMuxConn(&countingConn{Conn: conn, bytes: &t.bytes}, t.obsReg)
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -624,13 +682,23 @@ type muxReply struct {
 	err  error
 }
 
+// queuedFrame is one frame awaiting the write loop, stamped at enqueue so
+// the dequeue can attribute the wait to SiteQueueWait. The stamp is the zero
+// time when the transport has no registry (Registry.Start's nil contract),
+// making the matching ObserveSince a no-op.
+type queuedFrame struct {
+	buf *[]byte
+	enq time.Time
+}
+
 // muxConn is one multiplexed connection: a write loop drains queued frames
 // (coalescing flushes across pipelined calls), a read loop routes reply
 // frames to waiting callers by request id, and deadCh broadcasts the
 // connection's death to everyone blocked on it.
 type muxConn struct {
 	conn net.Conn
-	wq   chan *[]byte
+	wq   chan queuedFrame
+	obs  *obs.Registry
 
 	mu      sync.Mutex
 	pending map[uint64]chan muxReply
@@ -640,13 +708,22 @@ type muxConn struct {
 	deadCh chan struct{}
 }
 
-func newMuxConn(conn net.Conn) *muxConn {
+func newMuxConn(conn net.Conn, reg *obs.Registry) *muxConn {
 	return &muxConn{
 		conn:    conn,
-		wq:      make(chan *[]byte, 64),
+		wq:      make(chan queuedFrame, 64),
+		obs:     reg,
 		pending: make(map[uint64]chan muxReply),
 		deadCh:  make(chan struct{}),
 	}
+}
+
+// pendingCount reports how many requests are awaiting replies (0 once dead —
+// kill nils the map).
+func (mc *muxConn) pendingCount() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.pending)
 }
 
 func (mc *muxConn) start() {
@@ -749,9 +826,10 @@ func (mc *muxConn) writeLoop() {
 	}
 	for {
 		select {
-		case frame := <-mc.wq:
-			_, err := bw.Write(*frame)
-			putFrameBuf(frame)
+		case qf := <-mc.wq:
+			mc.obs.ObserveSince(obs.SiteQueueWait, qf.enq)
+			_, err := bw.Write(*qf.buf)
+			putFrameBuf(qf.buf)
 			if err != nil {
 				mc.kill(err)
 				return
@@ -759,9 +837,10 @@ func (mc *muxConn) writeLoop() {
 		drain:
 			for {
 				select {
-				case frame := <-mc.wq:
-					_, err := bw.Write(*frame)
-					putFrameBuf(frame)
+				case qf := <-mc.wq:
+					mc.obs.ObserveSince(obs.SiteQueueWait, qf.enq)
+					_, err := bw.Write(*qf.buf)
+					putFrameBuf(qf.buf)
 					if err != nil {
 						mc.kill(err)
 						return
@@ -775,7 +854,18 @@ func (mc *muxConn) writeLoop() {
 				return
 			}
 		case <-mc.deadCh:
-			return
+			// Return queued-but-unwritten frames to the pool so the live
+			// gauge doesn't drift on every connection death. (A racing
+			// enqueue can still slip one in after this drain; such a buffer
+			// is garbage-collected, not leaked — only the gauge overcounts.)
+			for {
+				select {
+				case qf := <-mc.wq:
+					putFrameBuf(qf.buf)
+				default:
+					return
+				}
+			}
 		}
 	}
 }

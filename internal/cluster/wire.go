@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"qrdtm/internal/proto"
 )
@@ -77,11 +78,36 @@ var errFrameTooLarge = errors.New("cluster: wire frame exceeds size cap")
 // codec copies all decoded strings and byte slices, so a buffer can be
 // reused the moment the frame has been written or decoded.
 var frameBufPool = sync.Pool{
-	New: func() any { b := make([]byte, 0, 512); return &b },
+	New: func() any {
+		frameBufNews.Add(1)
+		b := make([]byte, 0, 512)
+		return &b
+	},
 }
 
-func getFrameBuf() *[]byte  { return frameBufPool.Get().(*[]byte) }
-func putFrameBuf(b *[]byte) { *b = (*b)[:0]; frameBufPool.Put(b) }
+// Pool traffic counters: gets-puts is the number of buffers currently checked
+// out (live), news the number ever allocated. A live count that tracks load
+// is healthy; one that only grows means a leak (a frame path missing its
+// putFrameBuf).
+var frameBufGets, frameBufPuts, frameBufNews atomic.Uint64
+
+func getFrameBuf() *[]byte {
+	frameBufGets.Add(1)
+	return frameBufPool.Get().(*[]byte)
+}
+
+func putFrameBuf(b *[]byte) {
+	frameBufPuts.Add(1)
+	*b = (*b)[:0]
+	frameBufPool.Put(b)
+}
+
+// FrameBufStats reports frame-buffer pool traffic: buffers currently checked
+// out and the total ever allocated by the pool. Process-wide (the pool is
+// shared by every transport in the process).
+func FrameBufStats() (live int64, allocated uint64) {
+	return int64(frameBufGets.Load()) - int64(frameBufPuts.Load()), frameBufNews.Load()
+}
 
 // appendMessage appends the 1-byte encoding tag plus the encoded message:
 // the binary codec when it covers the type, a gob blob otherwise.

@@ -444,6 +444,7 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 
 	// Phase one: prepare every participant, in parallel so the commit
 	// latency is the slowest shard's round, not the sum.
+	phaseT0 := tx.rt.obs.Start()
 	results := make([][]cluster.Reply, len(parts))
 	forEachPart(parts, func(i int, p *commitPart) {
 		prep := proto.PrepareReq{Txn: tx.id, Reads: p.reads, Writes: p.writes, AbsLocks: p.absLocks, Owner: owner, TC: csp.Context()}
@@ -453,6 +454,7 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 			tx.rt.obs.ShardObserveSince(p.shard, obs.SiteCommitRTT, pt0)
 		}
 	})
+	tx.rt.obs.ObserveSince(obs.SitePhasePrepare, phaseT0)
 
 	allOK := true
 	wrongShard := false
@@ -554,9 +556,11 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 			w.Version++
 			installed[j] = w
 			csp.AddItem(w.ID, w.Version)
+			tx.rt.obs.HeatWrite(w.ID)
 		}
 		installs[i] = installed
 	}
+	phaseT0 = tx.rt.obs.Start()
 	forEachPart(parts, func(i int, p *commitPart) {
 		if !p.locked() {
 			return
@@ -576,6 +580,7 @@ func (tx *Txn) commit(absLocks []string, owner proto.TxnID) error {
 		}
 		cluster.Multicast(tx.ctx, tx.rt.trans, tx.rt.node, targets, dec)
 	})
+	tx.rt.obs.ObserveSince(obs.SitePhaseDecide, phaseT0)
 	if tx.rt.Sharded() {
 		for _, p := range parts {
 			tx.rt.obs.ShardCommit(p.shard)

@@ -594,9 +594,11 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 				// One network quantum per wait: commit windows last about
 				// two rounds, so a couple of waits ride one out. This is
 				// policy pacing, independent of abort backoff.
+				lw0 := tx.rt.obs.Start()
 				if err := sleepCtx(tx.ctx, time.Duration(lockWaits)*time.Millisecond); err != nil {
 					return nil, err
 				}
+				tx.rt.obs.ObserveSince(obs.SiteLockWait, lw0)
 				continue
 			}
 			// Validation failed somewhere in the footprint: partially or
@@ -646,6 +648,7 @@ func (tx *Txn) acquireRemote(id proto.ObjectID, write bool) (*entry, error) {
 		sp.SetVersion(best.Version)
 		sp.SetOK(true)
 		sp.End()
+		tx.rt.obs.HeatRead(id)
 		if tx.rt.Sharded() {
 			tx.noteShard(shard)
 		}
@@ -853,9 +856,11 @@ func (tx *Txn) acquireBatchShard(shard proto.ShardID, ids []proto.ObjectID, writ
 				tx.rt.metrics.LockWaits.Add(1)
 				sp.SetNote("lock-wait")
 				sp.End()
+				lw0 := tx.rt.obs.Start()
 				if err := sleepCtx(tx.ctx, time.Duration(lockWaits)*time.Millisecond); err != nil {
 					return err
 				}
+				tx.rt.obs.ObserveSince(obs.SiteLockWait, lw0)
 				continue
 			}
 			cause := obs.CauseReadValidation
@@ -908,6 +913,7 @@ func (tx *Txn) acquireBatchShard(shard proto.ShardID, ids []proto.ObjectID, writ
 			c := best[id]
 			c.ID = id // unknown objects come back zero-valued; keep the ID
 			sp.AddItem(id, c.Version)
+			tx.rt.obs.HeatRead(id)
 			e := &entry{
 				copyv:      c,
 				ownerDepth: tx.depth,
@@ -936,6 +942,12 @@ func (tx *Txn) acquireBatchShard(shard proto.ShardID, ids []proto.ObjectID, writ
 // is the span of the read that was denied; the abort span opens under it so
 // a merged trace shows which replicas' denials produced the routed target.
 func (tx *Txn) routeAbort(abortDepth, abortChk int, cause obs.AbortCause, obj proto.ObjectID, parent proto.TraceContext) {
+	if obj != "" {
+		// Heat-attribute the conflict (and the abort it forces) to the
+		// triggering object's slot; footprint-wide denials carry no object.
+		tx.rt.obs.HeatConflict(obj)
+		tx.rt.obs.HeatAbort(obj)
+	}
 	switch tx.rt.mode {
 	case Closed:
 		d := abortDepth

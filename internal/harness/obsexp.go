@@ -15,6 +15,11 @@ import (
 // output ("" disables the file; cmd/qr-bench exposes it as -obs-out).
 var BenchObsPath = "BENCH_obs.json"
 
+// obsSpanRing sizes the Obs experiment's span buffer. A full-scale cell
+// records a few tens of thousands of spans; 64Ki slots keeps the whole run
+// resident so the phase decomposition and the auditor see every trace.
+const obsSpanRing = 1 << 16
+
 // obsRecord is one protocol mode's row in BENCH_obs.json.
 type obsRecord struct {
 	Mode       string               `json:"mode"`
@@ -26,14 +31,31 @@ type obsRecord struct {
 	// Timeline is the per-interval throughput/abort-rate series of the run
 	// (see Config.SampleEvery; the Obs experiment samples every second).
 	Timeline []TimelinePoint `json:"timeline"`
+	// Phases is the critical-path phase decomposition of the run's committed
+	// transactions (obs.PhaseNames plus "total" and "commit"), stitched from
+	// the recorded spans. The phase means are additive: they sum to the
+	// "total" mean.
+	Phases map[string]obs.Stats `json:"phases,omitempty"`
+	// PhaseCommits/PhaseSkipped report the decomposition's coverage: commits
+	// decomposed vs traces it had to skip (ring overwrites, lost attempts).
+	PhaseCommits int `json:"phase_commits,omitempty"`
+	PhaseSkipped int `json:"phase_skipped,omitempty"`
+	// Heat is the per-slot access heat recorded during the cell — the input a
+	// load-aware reshard planner consumes.
+	Heat *obs.HeatSnapshot `json:"heat,omitempty"`
+	// Audit is the streaming trace auditor's end-of-run state for the cell.
+	Audit *obs.AuditStats `json:"audit,omitempty"`
 }
 
 // Obs runs the observability experiment: the same contended workload under
 // QR (flat), QR-CN (closed) and QR-CHK (checkpointing), each cell recording
 // into a fresh registry, and reports per-protocol latency percentiles plus
 // the abort-cause breakdown — the attribution the paper's Figure 8
-// aggregates into single abort counts. Alongside the tables it writes
-// BENCH_obs.json (see BenchObsPath) for scripted consumption.
+// aggregates into single abort counts. Each cell also runs the streaming
+// trace auditor over its live span buffer, stitches the recorded spans into
+// a critical-path phase decomposition, and dumps the per-slot heat counters.
+// Alongside the tables it writes BENCH_obs.json (see BenchObsPath) for
+// scripted consumption.
 func Obs(ctx context.Context, s Scale) ([]Table, error) {
 	lat := Table{
 		ID:     "obslat",
@@ -45,13 +67,27 @@ func Obs(ctx context.Context, s Scale) ([]Table, error) {
 		Title:  "abort-cause breakdown by protocol (hashmap)",
 		Header: []string{"mode", "read-validation", "lock-denied", "commit-conflict", "node-down", "rollback p50 steps"},
 	}
+	phase := Table{
+		ID:    "obsphase",
+		Title: "commit critical-path decomposition by protocol (hashmap, mean ms)",
+		Header: append(append([]string{"mode"}, obs.PhaseNames...),
+			"sum", "total", "delta%"),
+	}
+	heatT := Table{
+		ID:     "obsheat",
+		Title:  "per-slot heat by protocol (hashmap)",
+		Header: []string{"mode", "hot slot", "hot total", "top5 share%", "skew", "conflicts", "aborts", "audit"},
+	}
 	var records []obsRecord
 	for _, mode := range figureModes {
-		reg := obs.NewRegistry()
+		reg := obs.NewRegistry().WithSpans(obs.NewSpanBuffer(obsSpanRing))
+		auditor := obs.NewAuditor(reg, obs.AuditorConfig{})
+		auditor.Start()
 		cfg := s.config("hashmap", benchDefaults["hashmap"], mode)
 		cfg.Obs = reg
 		cfg.SampleEvery = time.Second
 		res, err := Run(ctx, cfg)
+		auditor.Stop()
 		if err != nil {
 			return nil, fmt.Errorf("obs %v: %w", mode, err)
 		}
@@ -75,14 +111,25 @@ func Obs(ctx context.Context, s Scale) ([]Table, error) {
 			fmt.Sprint(res.Obs.Aborts["node-down"]),
 			rollback,
 		})
+		dec := obs.DecomposePhases(reg.Spans().Spans())
+		phases := obs.SummarizePhases(dec.Commits)
+		phase.Rows = append(phase.Rows, phaseRow(mode.String(), phases))
+		heat := reg.HeatSnapshot()
+		audit := auditor.Stats()
+		heatT.Rows = append(heatT.Rows, heatRow(mode.String(), heat, audit))
 		records = append(records, obsRecord{
-			Mode:       mode.String(),
-			Workload:   res.Workload,
-			Throughput: res.Throughput,
-			Commits:    res.Commits,
-			Sites:      res.Obs.Sites,
-			Aborts:     res.Obs.Aborts,
-			Timeline:   res.Timeline,
+			Mode:         mode.String(),
+			Workload:     res.Workload,
+			Throughput:   res.Throughput,
+			Commits:      res.Commits,
+			Sites:        res.Obs.Sites,
+			Aborts:       res.Obs.Aborts,
+			Timeline:     res.Timeline,
+			Phases:       phases,
+			PhaseCommits: len(dec.Commits),
+			PhaseSkipped: dec.Skipped,
+			Heat:         heat,
+			Audit:        &audit,
 		})
 	}
 	if BenchObsPath != "" {
@@ -90,7 +137,64 @@ func Obs(ctx context.Context, s Scale) ([]Table, error) {
 			return nil, err
 		}
 	}
-	return []Table{lat, causes}, nil
+	return []Table{lat, causes, phase, heatT}, nil
+}
+
+// phaseRow renders one mode's phase means plus the additivity check: the
+// named phases partition each commit's total, so their mean sum should land
+// on the total mean (delta% ~ 0; a large delta means lost spans).
+func phaseRow(mode string, phases map[string]obs.Stats) []string {
+	row := []string{mode}
+	var sum float64
+	for _, n := range obs.PhaseNames {
+		m := phases[n].MeanMs
+		sum += m
+		row = append(row, f1(m))
+	}
+	total := phases["total"].MeanMs
+	delta := 0.0
+	if total > 0 {
+		delta = (sum - total) / total * 100
+	}
+	return append(row, f1(sum), f1(total), f1(delta))
+}
+
+// heatRow renders one mode's heat concentration summary plus the auditor's
+// verdict for the cell.
+func heatRow(mode string, h *obs.HeatSnapshot, audit obs.AuditStats) []string {
+	hotSlot, hotTotal := "n/a", "0"
+	var share float64
+	if top := h.TopSlots(5); len(top) > 0 {
+		hotSlot = fmt.Sprint(top[0].Slot)
+		hotTotal = fmt.Sprint(top[0].Total)
+		var sum, topSum uint64
+		for slot := 0; slot < len(h.Reads); slot++ {
+			sum += h.Total(slot)
+		}
+		for _, t := range top {
+			topSum += t.Total
+		}
+		if sum > 0 {
+			share = float64(topSum) / float64(sum) * 100
+		}
+	}
+	var conflicts, aborts uint64
+	if h != nil {
+		for slot := 0; slot < len(h.Conflicts); slot++ {
+			conflicts += h.Conflicts[slot]
+			aborts += h.Aborts[slot]
+		}
+	}
+	verdict := "ok"
+	if audit.Violations > 0 {
+		verdict = fmt.Sprintf("%d violations", audit.Violations)
+	} else if audit.GapSpans > 0 {
+		verdict = fmt.Sprintf("incomplete (%d gaps)", audit.GapSpans)
+	}
+	return []string{
+		mode, hotSlot, hotTotal, f1(share), f1(h.Skew()),
+		fmt.Sprint(conflicts), fmt.Sprint(aborts), verdict,
+	}
 }
 
 // writeBenchObs writes the per-protocol records as indented JSON.

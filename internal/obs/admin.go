@@ -24,6 +24,9 @@ import (
 //	                a health producer is registered
 //	/trace          the attached registry's span buffer as JSON (trace
 //	                collection for the merger/checker)
+//	/heat           the attached registry's per-slot heat counters as JSON
+//	                (full arrays plus ranked top slots and skew) — the input
+//	                a load-aware reshard planner consumes
 //	/debug/pprof/   the standard Go profiler endpoints
 //
 // Sources are named producer functions so the same mux serves whatever the
@@ -34,6 +37,7 @@ type Admin struct {
 	sources map[string]func() any
 	health  func() Health
 	reg     *Registry
+	auditor *Auditor
 	started time.Time
 }
 
@@ -61,6 +65,17 @@ func (a *Admin) WithRegistry(r *Registry) *Admin {
 	return a
 }
 
+// WithAuditor attaches a streaming trace auditor. Its stats ride the
+// /healthz document, and a node with recorded invariant violations reports
+// status "audit-violation" so liveness probes catch protocol bugs, not just
+// dead processes.
+func (a *Admin) WithAuditor(aud *Auditor) *Admin {
+	a.mu.Lock()
+	a.auditor = aud
+	a.mu.Unlock()
+	return a
+}
+
 // Health is the /healthz document: enough for an operator to spot a node
 // serving a stale quorum view or cut off from its peers.
 type Health struct {
@@ -70,6 +85,9 @@ type Health struct {
 	ViewEpoch uint64 `json:"view_epoch"`
 	PeersUp   int    `json:"peers_up"`
 	PeersDown int    `json:"peers_down"`
+	// Audit carries the streaming trace auditor's counters when one is
+	// attached; absent otherwise, so pre-auditor probes parse unchanged.
+	Audit *AuditStats `json:"audit,omitempty"`
 }
 
 // HealthSource registers the /healthz detail producer; without one the
@@ -138,16 +156,30 @@ func (a *Admin) Mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		a.mu.Lock()
 		health := a.health
+		auditor := a.auditor
 		a.mu.Unlock()
-		if health == nil {
+		if health == nil && auditor == nil {
 			w.Header().Set("Content-Type", "text/plain")
 			fmt.Fprintln(w, "ok")
 			return
 		}
+		var h Health
+		if health != nil {
+			h = health()
+		} else {
+			h.Status = "ok"
+		}
+		if auditor != nil {
+			st := auditor.Stats()
+			h.Audit = &st
+			if st.Violations > 0 {
+				h.Status = "audit-violation"
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(health()); err != nil {
+		if err := enc.Encode(h); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -161,6 +193,23 @@ func (a *Admin) Mux() *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(spans); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/heat", func(w http.ResponseWriter, _ *http.Request) {
+		a.mu.Lock()
+		reg := a.reg
+		a.mu.Unlock()
+		h := reg.HeatSnapshot()
+		doc := struct {
+			Heat *HeatSnapshot `json:"heat"`
+			Top  []SlotHeat    `json:"top"`
+			Skew float64       `json:"skew"`
+		}{Heat: h, Top: h.TopSlots(10), Skew: h.Skew()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

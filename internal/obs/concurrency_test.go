@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+// These tests exist to run under -race: the introspection plane reads every
+// counter (histograms, heat, gauges, span ring) while the hot path is still
+// writing them, so snapshot-while-observe must be data-race free.
+
+func TestHistogramSnapshotWhileObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg, started sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h.Record(seed) // guarantee at least one sample before snapshots race in
+			started.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(v % 1_000_000)
+					v += 7919
+				}
+			}
+		}(int64(w + 1))
+	}
+	started.Wait()
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count > 0 && s.Sum == 0 && s.Max == 0 {
+			t.Errorf("snapshot %d: count %d with zero sum and max", i, s.Count)
+		}
+		_ = s.Stats()
+	}
+	close(stop)
+	wg.Wait()
+	final := h.Snapshot()
+	if final.Count == 0 {
+		t.Fatal("no samples recorded")
+	}
+}
+
+func TestRegistrySnapshotUnderLoad(t *testing.T) {
+	reg := NewRegistry().WithSpans(NewSpanBuffer(256))
+	reg.RegisterGauge("load", func() int64 { return 1 })
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obj := proto.ObjectID(rune('a' + w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := reg.Start()
+				reg.Observe(SiteQueueDepth, int64(i%64))
+				reg.ObserveSince(SiteQueueWait, t0)
+				reg.HeatRead(obj)
+				reg.HeatWrite(obj)
+				if i%5 == 0 {
+					reg.HeatConflict(obj)
+					reg.HeatAbort(obj)
+					reg.Abort(CauseLockDenied)
+				}
+				reg.Spans().Add(proto.Span{Trace: uint64(w + 1), ID: uint64(i + 1)})
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := reg.Snapshot()
+		if s.Gauges["load"] != 1 {
+			t.Errorf("gauge lost under load: %v", s.Gauges)
+		}
+		if s.Heat != nil {
+			_ = s.Heat.TopSlots(5)
+			_ = s.Heat.Skew()
+		}
+		if s.SpanStats != nil && s.SpanStats.Seen < s.SpanStats.Dropped {
+			t.Errorf("span stats inverted: %+v", s.SpanStats)
+		}
+		_, _, _ = reg.Spans().SpansSince(0)
+	}
+	close(stop)
+	wg.Wait()
+	final := reg.Snapshot()
+	if final.Heat == nil {
+		t.Fatal("no heat recorded")
+	}
+	if final.Sites[SiteQueueDepth.String()].Count == 0 {
+		t.Fatal("no queue-depth samples recorded")
+	}
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+// This file stitches a merged span timeline into a per-commit critical-path
+// decomposition: where did each committed transaction's wall time actually go?
+// The protocol's spans already delimit every interesting interval — the root
+// span covers the whole call, attempt spans each try, read spans each quorum
+// round, the commit span prepare-through-decide, and serve spans the replica
+// service time inside those rounds — so the decomposition is a pure function
+// over recorded spans, computable offline on any collected trace.
+//
+// Two deliberate choices keep the arithmetic honest across processes:
+//
+//   - Replica service time per round is the MAX over that round's serve
+//     spans, not the sum: a quorum multicast waits for its slowest member,
+//     so the critical path charges one replica's service time, and the rest
+//     overlaps. Network (+ mux queueing + scheduling) is then the round's
+//     client-observed duration minus that max.
+//   - Durations are only ever differenced within one process's clock (client
+//     round minus replica serve DURATION, never client timestamp minus
+//     replica timestamp), so physical clock skew between nodes cancels out.
+//
+// Phases partition the root span exactly: compute + read rounds (serve_read +
+// read_net) + commit (serve_prepare + serve_decide + commit_net) + retry +
+// backoff = total, up to the non-negativity clamps noted below.
+
+// PhaseBreakdown is one committed transaction's critical-path decomposition.
+// Every field is a wall-time duration; see PhaseNames for the partition.
+type PhaseBreakdown struct {
+	Trace uint64 // trace id, for drill-down
+
+	Total        time.Duration // the whole root span (every attempt + backoff)
+	Compute      time.Duration // winning attempt outside quorum rounds (body code, CM sleeps)
+	ServeRead    time.Duration // slowest replica's service time, summed over read rounds
+	ReadNet      time.Duration // read rounds minus their serve max: wire + queue + sched
+	ServePrepare time.Duration // slowest participant's prepare service time
+	ServeDecide  time.Duration // slowest participant's decide service time
+	CommitNet    time.Duration // commit span minus its serve maxes
+	Retry        time.Duration // aborted attempts (work thrown away)
+	Backoff      time.Duration // root time outside any attempt (abort backoff sleeps)
+
+	Reads  int           // read quorum rounds on the winning attempt
+	Commit time.Duration // the commit span itself (= ServePrepare+ServeDecide+CommitNet)
+}
+
+// PhaseNames lists the partition phases in presentation order. The named
+// phases sum to Total for every breakdown (modulo clamping).
+var PhaseNames = []string{
+	"compute", "serve_read", "read_net", "serve_prepare", "serve_decide",
+	"commit_net", "retry", "backoff",
+}
+
+// Phase returns the named phase's duration (zero for unknown names).
+func (b PhaseBreakdown) Phase(name string) time.Duration {
+	switch name {
+	case "compute":
+		return b.Compute
+	case "serve_read":
+		return b.ServeRead
+	case "read_net":
+		return b.ReadNet
+	case "serve_prepare":
+		return b.ServePrepare
+	case "serve_decide":
+		return b.ServeDecide
+	case "commit_net":
+		return b.CommitNet
+	case "retry":
+		return b.Retry
+	case "backoff":
+		return b.Backoff
+	}
+	return 0
+}
+
+// PhaseDecomposition is the result of decomposing a span timeline.
+type PhaseDecomposition struct {
+	Commits []PhaseBreakdown // one per committed root transaction
+	Aborted int              // root spans that never committed (gave up)
+	// Skipped counts traces that could not be decomposed: no root span in
+	// the window (overwritten or still in flight), or a committed root whose
+	// winning attempt span is missing. Their spans are ignored, mirroring
+	// CheckTrace's incomplete-trace discipline.
+	Skipped int
+}
+
+// DecomposePhases stitches spans (any order, multiple traces, duplicates
+// tolerated) into per-commit phase breakdowns.
+func DecomposePhases(spans []proto.Span) PhaseDecomposition {
+	byTrace := make(map[uint64][]proto.Span)
+	for _, s := range spans {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	var out PhaseDecomposition
+	for trace, ts := range byTrace {
+		bd, ok, committed := decomposeTrace(trace, ts)
+		switch {
+		case ok:
+			out.Commits = append(out.Commits, bd)
+		case committed:
+			out.Skipped++ // committed but the winning attempt was lost
+		default:
+			// No committed root in the window: either the transaction gave up
+			// (root present, !OK) or the root was overwritten/in flight.
+			if hasRoot(ts) {
+				out.Aborted++
+			} else {
+				out.Skipped++
+			}
+		}
+	}
+	return out
+}
+
+func hasRoot(ts []proto.Span) bool {
+	for _, s := range ts {
+		if s.Kind == proto.SpanRoot {
+			return true
+		}
+	}
+	return false
+}
+
+func dur(s *proto.Span) time.Duration {
+	if s.End <= s.Start {
+		return 0
+	}
+	return time.Duration(s.End - s.Start)
+}
+
+// decomposeTrace decomposes one trace. ok reports a usable breakdown;
+// committed reports that a committed root was found (even if the breakdown
+// failed for lack of the winning attempt).
+func decomposeTrace(trace uint64, ts []proto.Span) (bd PhaseBreakdown, ok, committed bool) {
+	// Index spans and parent->children edges, deduplicating by span ID
+	// (SpansSince can deliver a span twice under wrap pressure).
+	byID := make(map[uint64]*proto.Span, len(ts))
+	children := make(map[uint64][]*proto.Span, len(ts))
+	var root *proto.Span
+	for i := range ts {
+		s := &ts[i]
+		if _, dup := byID[s.ID]; dup {
+			continue
+		}
+		byID[s.ID] = s
+		children[s.Parent] = append(children[s.Parent], s)
+		if s.Kind == proto.SpanRoot && (root == nil || s.OK) {
+			root = s
+		}
+	}
+	if root == nil || !root.OK {
+		return bd, false, false
+	}
+	committed = true
+
+	var winner *proto.Span
+	var attemptSum time.Duration
+	for _, a := range children[root.ID] {
+		if a.Kind != proto.SpanAttempt {
+			continue
+		}
+		attemptSum += dur(a)
+		if a.OK {
+			winner = a
+		}
+	}
+	if winner == nil {
+		return bd, false, true
+	}
+
+	bd = PhaseBreakdown{Trace: trace, Total: dur(root)}
+	bd.Retry = attemptSum - dur(winner)
+	bd.Backoff = clampDur(bd.Total - attemptSum)
+
+	// Walk the winning attempt's subtree (CT spans nest arbitrarily deep)
+	// collecting read rounds and the commit span.
+	var roundSum time.Duration
+	stack := []*proto.Span{winner}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range children[s.ID] {
+			switch c.Kind {
+			case proto.SpanRead:
+				d := dur(c)
+				roundSum += d
+				serve := maxServe(children[c.ID], proto.SpanServeRead)
+				if serve > d {
+					serve = d // skew/slack: never let a round go negative
+				}
+				bd.ServeRead += serve
+				bd.ReadNet += d - serve
+				bd.Reads++
+			case proto.SpanCommit:
+				d := dur(c)
+				roundSum += d
+				bd.Commit += d
+				prep := maxServe(children[c.ID], proto.SpanServePrepare)
+				dec := maxServe(children[c.ID], proto.SpanServeDecide)
+				if prep+dec > d {
+					// Clamp proportionally; the decide multicast of a
+					// single-shard commit returns before slow members finish.
+					if prep > d {
+						prep, dec = d, 0
+					} else {
+						dec = d - prep
+					}
+				}
+				bd.ServePrepare += prep
+				bd.ServeDecide += dec
+				bd.CommitNet += d - prep - dec
+			case proto.SpanCT, proto.SpanCheckpoint, proto.SpanRollback:
+				stack = append(stack, c)
+			}
+		}
+	}
+	bd.Compute = clampDur(dur(winner) - roundSum)
+	return bd, true, true
+}
+
+func clampDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// maxServe returns the longest duration among kind-matching child spans.
+func maxServe(cs []*proto.Span, kind proto.SpanKind) time.Duration {
+	var m time.Duration
+	for _, c := range cs {
+		if c.Kind == kind {
+			if d := dur(c); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// SummarizePhases folds breakdowns into per-phase distribution summaries,
+// keyed by PhaseNames plus "total" and "commit". The phase means are exactly
+// additive: per commit the named phases partition Total, so the sum of the
+// phase means equals the mean of Total.
+func SummarizePhases(bds []PhaseBreakdown) map[string]Stats {
+	hists := make(map[string]*Histogram, len(PhaseNames)+2)
+	for _, n := range append(append([]string{}, PhaseNames...), "total", "commit") {
+		hists[n] = NewHistogram()
+	}
+	for _, b := range bds {
+		for _, n := range PhaseNames {
+			hists[n].Record(int64(b.Phase(n)))
+		}
+		hists["total"].Record(int64(b.Total))
+		hists["commit"].Record(int64(b.Commit))
+	}
+	out := make(map[string]Stats, len(hists))
+	for n, h := range hists {
+		out[n] = h.Snapshot().Stats()
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"qrdtm/internal/proto"
+)
+
+// mkSpan builds one span on the fake millisecond timeline (ms helper shared
+// with check_test.go). The absolute base is irrelevant — the stitcher only
+// differences within one process's clock.
+func mkSpan(trace, id, parent uint64, kind proto.SpanKind, startMs, endMs int64, ok bool) proto.Span {
+	return proto.Span{
+		Trace: trace, ID: id, Parent: parent, Kind: kind,
+		Start: ms(startMs), End: ms(endMs), OK: ok,
+	}
+}
+
+func TestDecomposePhasesTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		spans   []proto.Span
+		commits int
+		aborted int
+		skipped int
+		check   func(t *testing.T, b PhaseBreakdown)
+	}{
+		{
+			name: "single clean commit partitions exactly",
+			spans: []proto.Span{
+				mkSpan(1, 1, 0, proto.SpanRoot, 0, 100, true),
+				mkSpan(1, 2, 1, proto.SpanAttempt, 0, 100, true),
+				// Read round 0-30ms, slowest serve 20ms -> serve_read 20, read_net 10.
+				mkSpan(1, 3, 2, proto.SpanRead, 0, 30, true),
+				mkSpan(1, 4, 3, proto.SpanServeRead, 5, 25, true),
+				mkSpan(1, 5, 3, proto.SpanServeRead, 5, 15, true),
+				// Commit 60-100ms: prepare max 15, decide max 10 -> commit_net 15.
+				mkSpan(1, 6, 2, proto.SpanCommit, 60, 100, true),
+				mkSpan(1, 7, 6, proto.SpanServePrepare, 62, 77, true),
+				mkSpan(1, 8, 6, proto.SpanServePrepare, 62, 70, true),
+				mkSpan(1, 9, 6, proto.SpanServeDecide, 85, 95, true),
+			},
+			commits: 1,
+			check: func(t *testing.T, b PhaseBreakdown) {
+				want := map[string]time.Duration{
+					"compute":       30 * time.Millisecond, // 100 - 30 (read) - 40 (commit)
+					"serve_read":    20 * time.Millisecond,
+					"read_net":      10 * time.Millisecond,
+					"serve_prepare": 15 * time.Millisecond,
+					"serve_decide":  10 * time.Millisecond,
+					"commit_net":    15 * time.Millisecond,
+					"retry":         0,
+					"backoff":       0,
+				}
+				var sum time.Duration
+				for name, w := range want {
+					if got := b.Phase(name); got != w {
+						t.Errorf("phase %s = %v, want %v", name, got, w)
+					}
+					sum += b.Phase(name)
+				}
+				if sum != b.Total {
+					t.Errorf("phases sum to %v, total is %v", sum, b.Total)
+				}
+				if b.Reads != 1 {
+					t.Errorf("reads = %d, want 1", b.Reads)
+				}
+			},
+		},
+		{
+			name: "failed attempt becomes retry, gap becomes backoff",
+			spans: []proto.Span{
+				mkSpan(2, 1, 0, proto.SpanRoot, 0, 100, true),
+				mkSpan(2, 2, 1, proto.SpanAttempt, 0, 40, false), // aborted attempt
+				mkSpan(2, 3, 1, proto.SpanAttempt, 60, 100, true),
+				mkSpan(2, 4, 3, proto.SpanCommit, 80, 100, true),
+			},
+			commits: 1,
+			check: func(t *testing.T, b PhaseBreakdown) {
+				if b.Retry != 40*time.Millisecond {
+					t.Errorf("retry = %v, want 40ms", b.Retry)
+				}
+				if b.Backoff != 20*time.Millisecond { // 100 total - 80 in attempts
+					t.Errorf("backoff = %v, want 20ms", b.Backoff)
+				}
+				if b.CommitNet != 20*time.Millisecond { // no serve children retained
+					t.Errorf("commit_net = %v, want 20ms", b.CommitNet)
+				}
+			},
+		},
+		{
+			name: "reads nested under subtransactions are found",
+			spans: []proto.Span{
+				mkSpan(3, 1, 0, proto.SpanRoot, 0, 50, true),
+				mkSpan(3, 2, 1, proto.SpanAttempt, 0, 50, true),
+				mkSpan(3, 3, 2, proto.SpanCT, 5, 35, true),
+				mkSpan(3, 4, 3, proto.SpanRead, 10, 20, true),
+				mkSpan(3, 5, 3, proto.SpanRead, 25, 30, true),
+			},
+			commits: 1,
+			check: func(t *testing.T, b PhaseBreakdown) {
+				if b.Reads != 2 {
+					t.Errorf("reads = %d, want 2 (nested under CT)", b.Reads)
+				}
+				if b.ReadNet != 15*time.Millisecond {
+					t.Errorf("read_net = %v, want 15ms", b.ReadNet)
+				}
+			},
+		},
+		{
+			name: "aborted root counts aborted, yields no breakdown",
+			spans: []proto.Span{
+				mkSpan(4, 1, 0, proto.SpanRoot, 0, 30, false),
+				mkSpan(4, 2, 1, proto.SpanAttempt, 0, 30, false),
+			},
+			aborted: 1,
+		},
+		{
+			name: "rootless trace (overwritten ring) is skipped",
+			spans: []proto.Span{
+				mkSpan(5, 2, 1, proto.SpanAttempt, 0, 30, true),
+				mkSpan(5, 3, 2, proto.SpanRead, 0, 10, true),
+			},
+			skipped: 1,
+		},
+		{
+			name: "committed root without winning attempt is skipped",
+			spans: []proto.Span{
+				mkSpan(6, 1, 0, proto.SpanRoot, 0, 30, true),
+			},
+			skipped: 1,
+		},
+		{
+			name: "duplicate delivery does not double-count",
+			spans: []proto.Span{
+				mkSpan(7, 1, 0, proto.SpanRoot, 0, 40, true),
+				mkSpan(7, 2, 1, proto.SpanAttempt, 0, 40, true),
+				mkSpan(7, 3, 2, proto.SpanRead, 0, 10, true),
+				mkSpan(7, 3, 2, proto.SpanRead, 0, 10, true), // same span ID twice
+			},
+			commits: 1,
+			check: func(t *testing.T, b PhaseBreakdown) {
+				if b.Reads != 1 {
+					t.Errorf("reads = %d, want 1 (duplicate deduped)", b.Reads)
+				}
+			},
+		},
+		{
+			name: "serve longer than its round clamps instead of going negative",
+			spans: []proto.Span{
+				mkSpan(8, 1, 0, proto.SpanRoot, 0, 20, true),
+				mkSpan(8, 2, 1, proto.SpanAttempt, 0, 20, true),
+				mkSpan(8, 3, 2, proto.SpanRead, 0, 10, true),
+				// Replica clock ran long: serve duration 15ms inside a 10ms round.
+				mkSpan(8, 4, 3, proto.SpanServeRead, 0, 15, true),
+			},
+			commits: 1,
+			check: func(t *testing.T, b PhaseBreakdown) {
+				if b.ServeRead != 10*time.Millisecond || b.ReadNet != 0 {
+					t.Errorf("serve_read=%v read_net=%v, want clamp to 10ms/0", b.ServeRead, b.ReadNet)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := DecomposePhases(tc.spans)
+			if len(dec.Commits) != tc.commits || dec.Aborted != tc.aborted || dec.Skipped != tc.skipped {
+				t.Fatalf("decomposition = %d commits / %d aborted / %d skipped, want %d/%d/%d",
+					len(dec.Commits), dec.Aborted, dec.Skipped, tc.commits, tc.aborted, tc.skipped)
+			}
+			if tc.check != nil && len(dec.Commits) == 1 {
+				tc.check(t, dec.Commits[0])
+			}
+		})
+	}
+}
+
+func TestDecomposePhasesMultiTrace(t *testing.T) {
+	spans := []proto.Span{
+		mkSpan(1, 1, 0, proto.SpanRoot, 0, 10, true),
+		mkSpan(1, 2, 1, proto.SpanAttempt, 0, 10, true),
+		mkSpan(2, 3, 0, proto.SpanRoot, 0, 20, true),
+		mkSpan(2, 4, 3, proto.SpanAttempt, 0, 20, true),
+		mkSpan(3, 5, 0, proto.SpanRoot, 0, 5, false),
+	}
+	dec := DecomposePhases(spans)
+	if len(dec.Commits) != 2 || dec.Aborted != 1 {
+		t.Fatalf("got %d commits / %d aborted, want 2/1", len(dec.Commits), dec.Aborted)
+	}
+}
+
+func TestSummarizePhasesAdditive(t *testing.T) {
+	bds := []PhaseBreakdown{
+		{Total: 100 * time.Millisecond, Compute: 30 * time.Millisecond, ServeRead: 20 * time.Millisecond,
+			ReadNet: 10 * time.Millisecond, ServePrepare: 15 * time.Millisecond, ServeDecide: 10 * time.Millisecond,
+			CommitNet: 15 * time.Millisecond},
+		{Total: 60 * time.Millisecond, Compute: 60 * time.Millisecond},
+	}
+	sum := SummarizePhases(bds)
+	if sum["total"].Count != 2 {
+		t.Fatalf("total count = %d, want 2", sum["total"].Count)
+	}
+	var phaseMeans float64
+	for _, n := range PhaseNames {
+		phaseMeans += sum[n].MeanMs
+	}
+	total := sum["total"].MeanMs
+	if diff := phaseMeans - total; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("phase means sum to %.3fms, total mean %.3fms — not additive", phaseMeans, total)
+	}
+}

@@ -19,7 +19,9 @@ import (
 // Dimensionless reports whether the site records raw values rather than
 // durations; its Prometheus histogram is emitted unscaled and without the
 // _seconds unit suffix.
-func (s Site) Dimensionless() bool { return s == SiteRollbackDepth || s == SiteBatchSize }
+func (s Site) Dimensionless() bool {
+	return s == SiteRollbackDepth || s == SiteBatchSize || s == SiteQueueDepth
+}
 
 // promName converts a site name ("read_rtt") into its Prometheus metric
 // family name ("qrdtm_read_rtt_seconds"); dimensionless sites keep raw
@@ -55,7 +57,85 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 			return err
 		}
 	}
-	return writePromShards(w, snap)
+	if err := writePromShards(w, snap); err != nil {
+		return err
+	}
+	if err := writePromHeat(w, snap); err != nil {
+		return err
+	}
+	if err := writePromGauges(w, snap); err != nil {
+		return err
+	}
+	return writePromSpans(w, snap)
+}
+
+// writePromHeat renders the per-slot heat counters as slot-labeled counter
+// families, skipping zero slots to keep scrapes proportional to the touched
+// working set. Snapshots without heat emit nothing, keeping their scrape
+// output byte-identical to pre-heat builds.
+func writePromHeat(w io.Writer, snap Snapshot) error {
+	h := snap.Heat
+	if h == nil {
+		return nil
+	}
+	for _, fam := range []struct {
+		name, help string
+		vals       *[proto.NumSlots]uint64
+	}{
+		{"qrdtm_slot_reads_total", "Successful read acquisitions per shard-map slot.", &h.Reads},
+		{"qrdtm_slot_writes_total", "Installed writes per shard-map slot.", &h.Writes},
+		{"qrdtm_slot_conflicts_total", "Conflicts (denials, vetoes) per shard-map slot.", &h.Conflicts},
+		{"qrdtm_slot_aborts_total", "Abort decisions per shard-map slot.", &h.Aborts},
+	} {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", fam.name, fam.help, fam.name); err != nil {
+			return err
+		}
+		for slot := 0; slot < proto.NumSlots; slot++ {
+			if fam.vals[slot] == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s{slot=\"%d\"} %d\n", fam.name, slot, fam.vals[slot]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromGauges renders registered gauges as one name-labeled family in
+// sorted order; snapshots without gauges emit nothing.
+func writePromGauges(w io.Writer, snap Snapshot) error {
+	if len(snap.Gauges) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(snap.Gauges))
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "# HELP qrdtm_gauge Registered point-in-time gauges.\n# TYPE qrdtm_gauge gauge\n"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "qrdtm_gauge{name=%q} %d\n", n, snap.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromSpans renders span-buffer retention counters; snapshots without a
+// span buffer emit nothing.
+func writePromSpans(w io.Writer, snap Snapshot) error {
+	s := snap.SpanStats
+	if s == nil {
+		return nil
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP qrdtm_spans_seen_total Spans ever recorded into the trace ring.\n# TYPE qrdtm_spans_seen_total counter\nqrdtm_spans_seen_total %d\n"+
+			"# HELP qrdtm_spans_dropped_total Spans lost to trace ring overwrites.\n# TYPE qrdtm_spans_dropped_total counter\nqrdtm_spans_dropped_total %d\n",
+		s.Seen, s.Dropped)
+	return err
 }
 
 // writePromShards renders the per-shard metric slices of a sharded run as

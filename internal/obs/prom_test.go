@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"qrdtm/internal/proto"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -26,7 +28,44 @@ func promRegistry() *Registry {
 	r.Hist(SiteTxnLatency).Record(int64(20 * time.Millisecond))
 	r.Hist(SiteRollbackDepth).Record(2)
 	r.Hist(SiteRollbackDepth).Record(3)
+	// Introspection-plane samples: commit phases, queue instrumentation,
+	// per-slot heat, a registered gauge, and a span buffer — so the golden
+	// file pins the new optional series too.
+	r.Hist(SitePhasePrepare).Record(int64(2 * time.Millisecond))
+	r.Hist(SitePhaseDecide).Record(int64(1 * time.Millisecond))
+	r.Hist(SiteQueueWait).Record(int64(100 * time.Microsecond))
+	r.Hist(SiteQueueDepth).Record(3)
+	r.Hist(SiteLockWait).Record(int64(1 * time.Millisecond))
+	r.HeatRead("acct/1")
+	r.HeatRead("acct/1")
+	r.HeatWrite("acct/1")
+	r.HeatConflict("acct/2")
+	r.HeatAbort("acct/2")
+	r.RegisterGauge("tcp_inflight_requests", func() int64 { return 7 })
+	b := NewSpanBuffer(4)
+	for i := 0; i < 6; i++ { // 6 spans into 4 slots: 2 dropped
+		b.Add(proto.Span{Trace: uint64(i + 1), ID: uint64(i + 1)})
+	}
+	r.WithSpans(b)
 	return r
+}
+
+// TestWritePromUntouched pins the byte-identical-when-unused contract: a
+// registry that never records heat, gauges or spans must not emit any of the
+// new optional series, so pre-existing scrape parsers see unchanged output.
+func TestWritePromUntouched(t *testing.T) {
+	r := NewRegistry()
+	r.Hist(SiteReadRTT).Record(int64(time.Millisecond))
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, banned := range []string{"qrdtm_slot_", "qrdtm_gauge", "qrdtm_spans_"} {
+		if strings.Contains(out, banned) {
+			t.Fatalf("untouched registry emitted optional series %q:\n%s", banned, out)
+		}
+	}
 }
 
 func TestWritePromGolden(t *testing.T) {

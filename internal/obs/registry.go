@@ -36,6 +36,21 @@ const (
 	// SiteBatchSize is the number of objects fetched per batched read-quorum
 	// round (dimensionless; 1 = a plain single-object read).
 	SiteBatchSize
+	// SitePhasePrepare is the prepare leg of the commit protocol: the prepare
+	// multicast through the last vote, per participating shard round.
+	SitePhasePrepare
+	// SitePhaseDecide is the decide leg of the commit protocol: the decide
+	// multicast through the last acknowledgement.
+	SitePhaseDecide
+	// SiteLockWait is the contention-manager sleep spent waiting out another
+	// transaction's commit-in-flight locks before retrying a read round.
+	SiteLockWait
+	// SiteQueueWait is the time a wire frame spends queued in a muxConn's
+	// write queue before the write loop picks it up (mux head-of-line wait).
+	SiteQueueWait
+	// SiteQueueDepth is the number of frames already queued ahead of a frame
+	// at enqueue time (dimensionless; 0 = the write loop was idle).
+	SiteQueueDepth
 
 	numSites
 )
@@ -50,6 +65,11 @@ var siteNames = [numSites]string{
 	SiteServeRead:     "serve_read",
 	SiteServePrepare:  "serve_prepare",
 	SiteBatchSize:     "batch_size",
+	SitePhasePrepare:  "phase_prepare",
+	SitePhaseDecide:   "phase_decide",
+	SiteLockWait:      "lock_wait",
+	SiteQueueWait:     "queue_wait",
+	SiteQueueDepth:    "queue_depth",
 }
 
 // String implements fmt.Stringer.
@@ -64,6 +84,7 @@ func (s Site) String() string {
 var Sites = []Site{
 	SiteReadRTT, SiteCommitRTT, SiteTxnLatency, SiteBackoff,
 	SiteRollbackDepth, SiteServeRead, SiteServePrepare, SiteBatchSize,
+	SitePhasePrepare, SitePhaseDecide, SiteLockWait, SiteQueueWait, SiteQueueDepth,
 }
 
 // AbortCause classifies why a transaction (or subtransaction) attempt was
@@ -127,6 +148,18 @@ type Registry struct {
 	// pay only an untaken branch), so single-tree output is byte-identical.
 	shardMu sync.RWMutex
 	shards  map[proto.ShardID]*shardStats
+
+	// Per-slot heat counters (see heat.go). Embedded by value: the arrays
+	// are fixed-size and the touched flag keeps untouched registries from
+	// emitting 64 slots of zeros.
+	heat heat
+
+	// Registered gauge callbacks, read at snapshot time. Gauges are for
+	// instantaneous state owned elsewhere (pool sizes, in-flight request
+	// counts, auditor totals) — the callback model means the hot path that
+	// owns the state pays nothing for being observable.
+	gaugeMu sync.Mutex
+	gauges  map[string]func() int64
 }
 
 // shardStats is the per-shard slice of the hot-path metrics: the two quorum
@@ -258,6 +291,43 @@ func (r *Registry) ShardAbort(id proto.ShardID) {
 	}
 }
 
+// RegisterGauge registers (or replaces) a named gauge callback. fn is called
+// on every Snapshot and must be safe for concurrent use. Nil registries and
+// nil callbacks no-op.
+func (r *Registry) RegisterGauge(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gaugeMu.Lock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]func() int64)
+	}
+	r.gauges[name] = fn
+	r.gaugeMu.Unlock()
+}
+
+// GaugeValues evaluates every registered gauge. Returns nil when none are
+// registered, so consumers (and the Prometheus writer) can omit the section.
+func (r *Registry) GaugeValues() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.gaugeMu.Lock()
+	fns := make(map[string]func() int64, len(r.gauges))
+	for n, fn := range r.gauges {
+		fns[n] = fn
+	}
+	r.gaugeMu.Unlock()
+	if len(fns) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(fns))
+	for n, fn := range fns {
+		out[n] = fn()
+	}
+	return out
+}
+
 // Trace emits ev to the attached tracer, if any.
 func (r *Registry) Trace(ev Event) {
 	if r == nil || r.tracer == nil {
@@ -288,6 +358,18 @@ type Snapshot struct {
 	// Shards carries the per-shard metric slices of a sharded run, keyed by
 	// shard id. Empty (omitted) on unsharded runs.
 	Shards map[proto.ShardID]ShardSnapshot `json:"shards,omitempty"`
+
+	// Heat carries the per-slot access counters (see heat.go). Nil (omitted)
+	// when the run never recorded a heat sample.
+	Heat *HeatSnapshot `json:"heat,omitempty"`
+
+	// Gauges carries the registered gauge values. Nil (omitted) when no
+	// gauge was ever registered.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+
+	// SpanStats describes the attached span buffer's retention (seen vs
+	// dropped-by-overwrite). Nil (omitted) when tracing is off.
+	SpanStats *SpanBufStats `json:"spans,omitempty"`
 
 	// Hists keeps the full mergeable snapshots (not serialized; quantile
 	// queries on merged windows need the buckets, not just the summary).
@@ -334,6 +416,11 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 		}
 		r.shardMu.RUnlock()
+		s.Heat = r.HeatSnapshot()
+		s.Gauges = r.GaugeValues()
+		if b := r.spans; b != nil {
+			s.SpanStats = &SpanBufStats{Seen: b.Seen(), Dropped: b.Dropped(), Cap: b.Cap()}
+		}
 	}
 	return s
 }

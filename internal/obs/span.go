@@ -69,6 +69,64 @@ func (b *SpanBuffer) Seen() uint64 {
 	return b.pos.Load()
 }
 
+// Cap returns the ring's capacity (0 on a nil buffer).
+func (b *SpanBuffer) Cap() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.ring)
+}
+
+// Dropped reports how many spans have been overwritten by the ring wrapping
+// — spans Seen but no longer retained. A nonzero value means any reader that
+// did not keep up (Spans, SpansSince, the streaming auditor) has an
+// incomplete view.
+func (b *SpanBuffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	if head := b.pos.Load(); head > uint64(len(b.ring)) {
+		return head - uint64(len(b.ring))
+	}
+	return 0
+}
+
+// SpanBufStats is the serializable retention summary of a span buffer.
+type SpanBufStats struct {
+	Seen    uint64 `json:"seen"`
+	Dropped uint64 `json:"dropped"`
+	Cap     int    `json:"cap"`
+}
+
+// SpansSince returns the spans recorded after the cursor (a value previously
+// returned as next, starting from 0), the new cursor, and how many spans in
+// the requested range were lost to ring overwrites before they could be
+// read. Writers may lap the reader mid-copy under extreme load; a lapped
+// slot yields a newer span early, which a later call returns again — callers
+// that care deduplicate by span ID (each ID is unique).
+func (b *SpanBuffer) SpansSince(cursor uint64) (spans []proto.Span, next uint64, dropped uint64) {
+	if b == nil {
+		return nil, cursor, 0
+	}
+	head := b.pos.Load()
+	if head <= cursor {
+		return nil, cursor, 0
+	}
+	n := uint64(len(b.ring))
+	start := cursor
+	if head > n && head-n > start {
+		dropped = head - n - start
+		start = head - n
+	}
+	spans = make([]proto.Span, 0, head-start)
+	for i := start; i < head; i++ {
+		if s := b.ring[i%n].Load(); s != nil {
+			spans = append(spans, *s)
+		}
+	}
+	return spans, head, dropped
+}
+
 // Spans returns the retained window, oldest first.
 func (b *SpanBuffer) Spans() []proto.Span {
 	if b == nil {

@@ -158,7 +158,9 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		sp.SetOK(rep.OK)
 		if rep.OK {
 			sp.SetVersion(rep.Copy.Version)
+			r.obs.HeatRead(m.Obj)
 		} else {
+			r.obs.HeatConflict(m.Obj)
 			// The denial's routing answer: which owner depth / checkpoint
 			// epoch this replica wants aborted.
 			sp.SetDepth(rep.AbortDepth)
@@ -186,6 +188,7 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		if rep.OK {
 			for _, c := range rep.Copies {
 				sp.AddItem(c.ID, c.Version)
+				r.obs.HeatRead(c.ID)
 			}
 			if len(rep.Copies) == 1 {
 				sp.SetVersion(rep.Copies[0].Version)
@@ -247,6 +250,7 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 			r.st.Commit(m.Txn, m.Writes)
 			for _, w := range m.Writes {
 				sp.AddItem(w.ID, w.Version)
+				r.obs.HeatWrite(w.ID)
 			}
 		} else {
 			r.metrics.AbortDecisions.Add(1)

@@ -84,6 +84,40 @@ type (
 	CheckResult = obs.CheckResult
 )
 
+// Introspection-plane re-exports (see internal/obs and DESIGN.md §13): the
+// live registry also carries per-slot heat counters, per-commit critical-path
+// phase decomposition, and an always-on streaming trace auditor.
+type (
+	// Auditor is the streaming trace auditor continuously running CheckTrace
+	// invariants over a live span buffer.
+	Auditor = obs.Auditor
+	// AuditorConfig tunes the streaming auditor's poll/settle windows.
+	AuditorConfig = obs.AuditorConfig
+	// AuditStats is the auditor's counter snapshot.
+	AuditStats = obs.AuditStats
+	// HeatSnapshot is a copy of the per-slot access heat counters.
+	HeatSnapshot = obs.HeatSnapshot
+	// SlotHeat is one slot's row in ranked heat output.
+	SlotHeat = obs.SlotHeat
+	// PhaseBreakdown is one committed transaction's critical-path phase
+	// decomposition.
+	PhaseBreakdown = obs.PhaseBreakdown
+	// PhaseDecomposition is the result of decomposing a span timeline.
+	PhaseDecomposition = obs.PhaseDecomposition
+)
+
+// NewAuditor builds a streaming auditor over the registry's span buffer (see
+// obs.NewAuditor); Start it, and Stop it at shutdown for a final flush.
+func NewAuditor(reg *Registry, cfg AuditorConfig) *Auditor { return obs.NewAuditor(reg, cfg) }
+
+// DecomposePhases stitches a span timeline into per-commit critical-path
+// phase breakdowns (see obs.DecomposePhases).
+func DecomposePhases(spans []Span) PhaseDecomposition { return obs.DecomposePhases(spans) }
+
+// SummarizePhases folds phase breakdowns into per-phase distribution
+// summaries (see obs.SummarizePhases).
+func SummarizePhases(bds []PhaseBreakdown) map[string]obs.Stats { return obs.SummarizePhases(bds) }
+
 // Sharding re-exports (see internal/proto/shard.go and DESIGN.md §12): the
 // object space can be split into independent quorum groups behind a
 // versioned placement map.
