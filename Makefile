@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-obs bench-trace bench-wire bench-shard exp exp-quick fmt cover clean check
+.PHONY: all build vet test race bench bench-quick bench-obs bench-trace bench-wire bench-shard bench-load bench-load-quick exp exp-quick fmt cover clean check
 
 all: build vet test
 
@@ -18,17 +18,19 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/ .
 
-# Fast pre-commit gate: vet, the race-detected transport, engine and
+# Fast pre-commit gate: vet, the race-detected transport, engine, load and
 # observability suites, short wire-message, binary-codec and shard/2PC
 # message fuzz smokes (the codec and shard runs also seed from — and so
-# guard — their checked-in corpora), and the wire-protocol A/B benchmark.
+# guard — their checked-in corpora), the wire-protocol A/B benchmark and a
+# two-step open-loop ladder smoke.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/... ./internal/load/...
 	$(GO) test -run='^$$' -fuzz=FuzzBatchReadWire -fuzztime=5s ./internal/proto/
 	$(GO) test -run=TestWireFuzzCorpusPresent -fuzz=FuzzWireCodec -fuzztime=5s ./internal/proto/
 	$(GO) test -run=TestShardFuzzCorpusPresent -fuzz=FuzzShardWire -fuzztime=5s ./internal/proto/
 	$(MAKE) bench-wire
+	$(MAKE) bench-load-quick
 
 # Every paper artifact as a Go benchmark (throughput via b.ReportMetric).
 bench:
@@ -57,6 +59,21 @@ bench-wire:
 # the ≥2x scaling claim is a saturation effect and is measured there.
 bench-shard:
 	$(GO) run ./cmd/qr-bench -exp shard
+
+# Open-loop rate sweep over a 13-node TCP cluster → BENCH_load.json:
+# offered-vs-completed throughput, coordinated-omission-free latency from
+# intended arrival times, and the saturation knee. The greps guard the
+# artifact's load-bearing fields: a run without a step ladder or knee
+# verdict is not a measurement.
+bench-load:
+	$(GO) run ./cmd/qr-bench -exp load
+	@grep -q '"steps"' BENCH_load.json || { echo "bench-load: BENCH_load.json missing step ladder" >&2; exit 1; }
+	@grep -q '"knee"' BENCH_load.json || { echo "bench-load: BENCH_load.json missing knee verdict" >&2; exit 1; }
+
+# Two-step smoke of the same sweep (CI's make check).
+bench-load-quick:
+	$(GO) run ./cmd/qr-bench -exp load -quick
+	@grep -q '"steps"' BENCH_load.json || { echo "bench-load-quick: BENCH_load.json missing step ladder" >&2; exit 1; }
 
 # Regenerate the paper's figures and tables.
 exp:

@@ -36,6 +36,10 @@ func main() {
 	batchOut := flag.String("batch-out", harness.BenchBatchPath, "output path for the batch experiment's JSON (empty disables)")
 	wireOut := flag.String("wire-out", harness.BenchWirePath, "output path for the wire experiment's JSON (empty disables)")
 	shardOut := flag.String("shard-out", harness.BenchShardPath, "output path for the shard experiment's JSON (empty disables)")
+	loadOut := flag.String("load-out", harness.BenchLoadPath, "output path for the load experiment's JSON (empty disables)")
+	cpuProf := flag.String("cpuprofile", "", "per-step CPU profile prefix for the load experiment (measured window only)")
+	memProf := flag.String("memprofile", "", "per-step heap profile prefix for the load experiment (measured window only)")
+	admin := flag.String("admin", "", "serve the load experiment's obs registry on this address (e.g. 127.0.0.1:7500) for qr-top")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 	harness.BenchObsPath = *obsOut
@@ -43,6 +47,10 @@ func main() {
 	harness.BenchBatchPath = *batchOut
 	harness.BenchWirePath = *wireOut
 	harness.BenchShardPath = *shardOut
+	harness.BenchLoadPath = *loadOut
+	harness.CPUProfilePrefix = *cpuProf
+	harness.MemProfilePrefix = *memProf
+	harness.LoadAdminAddr = *admin
 
 	if *list {
 		for _, id := range harness.ExperimentOrder {

@@ -61,10 +61,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "client mode: collect spans from every replica after the run and write Chrome trace-event JSON here (implies tracing)")
 	legacyWire := flag.Bool("legacy-wire", false, "client mode: speak the legacy one-call-per-connection gob protocol instead of pipelined binary frames (servers accept both)")
 	shards := flag.Int("shards", 0, "client mode: partition the object space into this many quorum groups (0/1 = one tree over all replicas)")
+	goMetrics := flag.Bool("go-metrics", false, "export Go runtime gauges (goroutines, heap, GC pause p99) on /metrics; off by default so untouched scrapes stay byte-identical")
 	flag.Parse()
 
 	if *client {
-		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire, *shards, *trace, *audit); err != nil {
+		if err := runClient(*peers, *mode, *txns, *retries, *callTimeout, *admin, *traceOut, *legacyWire, *shards, *trace, *audit, *goMetrics); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -73,6 +74,9 @@ func main() {
 	reg := obs.NewRegistry()
 	if *trace {
 		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
+	}
+	if *goMetrics {
+		obs.RegisterRuntimeGauges(reg)
 	}
 	rep := server.New(proto.NodeID(*id)).WithObs(reg)
 	srv, err := cluster.ListenTCP(proto.NodeID(*id), *listen, rep.Handle)
@@ -136,7 +140,7 @@ func parseMode(s string) (core.Mode, error) {
 // traceRingSize holds roughly a thousand demo transactions' worth of spans.
 const traceRingSize = 1 << 16
 
-func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool, shards int, trace, audit bool) error {
+func runClient(peerList, modeName string, txns, retries int, callTimeout time.Duration, admin, traceOut string, legacyWire bool, shards int, trace, audit, goMetrics bool) error {
 	if peerList == "" {
 		return fmt.Errorf("client mode needs -peers")
 	}
@@ -153,6 +157,9 @@ func runClient(peerList, modeName string, txns, retries int, callTimeout time.Du
 	reg := obs.NewRegistry()
 	if trace || traceOut != "" {
 		reg.WithSpans(obs.NewSpanBuffer(traceRingSize))
+	}
+	if goMetrics {
+		obs.RegisterRuntimeGauges(reg)
 	}
 	tcpOpts := []cluster.TCPOption{cluster.WithObs(reg)}
 	if legacyWire {

@@ -65,6 +65,10 @@ func main() {
 type sample struct {
 	at    time.Time
 	count uint64 // completed transactions (txn_latency observations)
+
+	loadOffered   int64 // load_offered_total gauge (open-loop generator)
+	loadCompleted int64
+	loadShed      int64
 }
 
 // metricsDoc is the slice of the admin /metrics JSON document qr-top needs.
@@ -121,12 +125,43 @@ func renderNode(b *strings.Builder, client *http.Client, addr string, prev map[s
 	txn := snap.Sites[obs.SiteTxnLatency.String()]
 	now := time.Now()
 	rate := 0.0
-	if p, ok := prev[addr]; ok && txn.Count >= p.count && now.After(p.at) {
+	p, hadPrev := prev[addr]
+	if hadPrev && txn.Count >= p.count && now.After(p.at) {
 		rate = float64(txn.Count-p.count) / now.Sub(p.at).Seconds()
 	}
-	prev[addr] = sample{at: now, count: txn.Count}
+	cur := sample{at: now, count: txn.Count,
+		loadOffered:   snap.Gauges["load_offered_total"],
+		loadCompleted: snap.Gauges["load_completed_total"],
+		loadShed:      snap.Gauges["load_shed_total"],
+	}
+	prev[addr] = cur
 
 	fmt.Fprintf(b, "%-22s %-8s %-10s %8.1f txn/s   txns=%d\n", addr, role, status, rate, txn.Count)
+
+	// Open-loop generator panel: offered vs completed rate (gauge-total
+	// diffs), pool state and schedule lag — present only while a load run
+	// has registered its gauges on this node.
+	if _, loaded := snap.Gauges["load_offered_total"]; loaded {
+		offRate, doneRate, shedRate := 0.0, 0.0, 0.0
+		if hadPrev && now.After(p.at) {
+			dt := now.Sub(p.at).Seconds()
+			offRate = float64(cur.loadOffered-p.loadOffered) / dt
+			doneRate = float64(cur.loadCompleted-p.loadCompleted) / dt
+			shedRate = float64(cur.loadShed-p.loadShed) / dt
+		}
+		fmt.Fprintf(b, "  load   offered=%7.1f/s completed=%7.1f/s shed=%6.1f/s  target=%d/s inflight=%d queue=%d lag=%.1fms\n",
+			offRate, doneRate, shedRate,
+			snap.Gauges["load_target_rate"], snap.Gauges["load_inflight"],
+			snap.Gauges["load_queue_depth"], float64(snap.Gauges["load_lag_us"])/1e3)
+	}
+
+	// Go runtime row: present only when the node opted into runtime gauges.
+	if _, hasRT := snap.Gauges[obs.GaugeGoroutines]; hasRT {
+		fmt.Fprintf(b, "  go     goroutines=%d heap=%.1fMB gc-pause-p99=%.2fms\n",
+			snap.Gauges[obs.GaugeGoroutines],
+			float64(snap.Gauges[obs.GaugeHeapInuse])/(1<<20),
+			float64(snap.Gauges[obs.GaugeGCPauseP99])/1e3)
+	}
 	fmt.Fprintf(b, "  txn    p50=%6.1fms p99=%6.1fms   commit p50=%6.1fms   read p50=%6.1fms\n",
 		txn.P50Ms, txn.P99Ms,
 		snap.Sites[obs.SiteCommitRTT.String()].P50Ms,
@@ -145,8 +180,10 @@ func renderNode(b *strings.Builder, client *http.Client, addr string, prev map[s
 	if len(snap.Gauges) > 0 {
 		names := make([]string, 0, len(snap.Gauges))
 		for n := range snap.Gauges {
-			// Per-peer inflight gauges get summarized by tcp_inflight_requests.
-			if strings.HasPrefix(n, "tcp_inflight_peer_") || strings.HasPrefix(n, "audit_") {
+			// Per-peer inflight gauges get summarized by tcp_inflight_requests;
+			// load_* and go_* have their own panels above.
+			if strings.HasPrefix(n, "tcp_inflight_peer_") || strings.HasPrefix(n, "audit_") ||
+				strings.HasPrefix(n, "load_") || strings.HasPrefix(n, "go_") {
 				continue
 			}
 			names = append(names, n)
@@ -170,8 +207,14 @@ func renderNode(b *strings.Builder, client *http.Client, addr string, prev map[s
 			audit.Traces, audit.Violations, audit.GapSpans, audit.Incomplete)
 	}
 
+	// Ask the node for exactly topN ranked slots (/heat validates the
+	// parameter); keep the client-side cut as a fallback for older nodes.
+	heatURL := "http://" + addr + "/heat"
+	if topN > 0 {
+		heatURL += fmt.Sprintf("?top=%d", topN)
+	}
 	var heat heatDoc
-	if err := getJSON(client, "http://"+addr+"/heat", &heat); err == nil && len(heat.Top) > 0 {
+	if err := getJSON(client, heatURL, &heat); err == nil && len(heat.Top) > 0 {
 		rows := heat.Top
 		if topN > 0 && len(rows) > topN {
 			rows = rows[:topN]

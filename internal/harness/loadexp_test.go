@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDetectKnee(t *testing.T) {
+	mk := func(offered, completed, p99 float64) loadStep {
+		s := loadStep{OfferedRate: offered, CompletedRate: completed, P99Ms: p99}
+		if offered > 0 {
+			s.CompletedFrac = completed / offered
+		}
+		return s
+	}
+	t.Run("completed-shortfall", func(t *testing.T) {
+		steps := []loadStep{
+			mk(100, 100, 2), mk(200, 199, 2.5), mk(400, 300, 3),
+		}
+		knee, reason := DetectKnee(steps)
+		if knee != 2 {
+			t.Fatalf("knee = %d (%s), want 2", knee, reason)
+		}
+	})
+	t.Run("p99-blowup", func(t *testing.T) {
+		steps := []loadStep{
+			mk(100, 100, 2), mk(200, 200, 4), mk(400, 399, 30),
+		}
+		knee, reason := DetectKnee(steps)
+		if knee != 2 {
+			t.Fatalf("knee = %d (%s), want 2 (p99 30ms > 5x baseline 2ms)", knee, reason)
+		}
+	})
+	t.Run("no-knee", func(t *testing.T) {
+		steps := []loadStep{mk(100, 100, 2), mk(200, 198, 3)}
+		if knee, reason := DetectKnee(steps); knee != -1 {
+			t.Fatalf("knee = %d (%s), want -1", knee, reason)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if knee, _ := DetectKnee(nil); knee != -1 {
+			t.Fatalf("knee on empty ladder = %d, want -1", knee)
+		}
+	})
+	t.Run("zero-baseline-no-div", func(t *testing.T) {
+		// A zero baseline p99 (degenerate fast step) must not make every
+		// later step a knee via 0-times-anything comparisons.
+		steps := []loadStep{mk(100, 100, 0), mk(200, 200, 1)}
+		if knee, reason := DetectKnee(steps); knee != -1 {
+			t.Fatalf("knee = %d (%s), want -1", knee, reason)
+		}
+	})
+}
+
+// TestLoadExperiment runs the open-loop ladder at the CI smoke scale (2
+// steps, 13 nodes, real localhost TCP) and pins the structural contract of
+// BENCH_load.json: per-step rates, intended-time quantiles, shed/queued
+// counts, a conserving final state, and a clean audit below the knee.
+func TestLoadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	old := BenchLoadPath
+	BenchLoadPath = filepath.Join(t.TempDir(), "load.json")
+	defer func() { BenchLoadPath = old }()
+
+	tables, err := Load(context.Background(), QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) < 2 {
+		t.Fatalf("tables = %+v", tables)
+	}
+
+	b, err := os.ReadFile(BenchLoadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc loadBench
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Nodes != 13 || doc.Shards != 4 {
+		t.Fatalf("cluster shape %d nodes / %d shards, want 13/4", doc.Nodes, doc.Shards)
+	}
+	if len(doc.Steps) != 2 {
+		t.Fatalf("quick ladder has %d steps, want 2", len(doc.Steps))
+	}
+	if doc.CapacityTxns <= 0 {
+		t.Fatalf("calibrated capacity %v", doc.CapacityTxns)
+	}
+	if !doc.Verified {
+		t.Fatal("final state not balance-conserving")
+	}
+	for _, st := range doc.Steps {
+		if st.OfferedRate <= 0 || st.CompletedRate <= 0 {
+			t.Fatalf("step %d rates: %+v", st.Step, st)
+		}
+		if st.P50Ms <= 0 || st.P99Ms < st.P50Ms || st.P999Ms < st.P99Ms {
+			t.Fatalf("step %d quantiles not ordered: %+v", st.Step, st)
+		}
+		if len(st.Timeline) == 0 {
+			t.Fatalf("step %d has no timeline", st.Step)
+		}
+	}
+	// The 1.4x-capacity step must visibly saturate: the open-loop generator
+	// keeps offering, so the overflow shows up as shed/queued arrivals, and
+	// the knee detector marks the run.
+	last := doc.Steps[len(doc.Steps)-1]
+	if last.Shed == 0 && last.Queued == 0 {
+		t.Errorf("past-capacity step shows no queueing or shedding: %+v", last)
+	}
+	if doc.Knee == nil {
+		t.Error("no saturation knee detected on a ladder ending past capacity")
+	} else if doc.Knee.Step == 0 {
+		t.Errorf("knee at the baseline step: %+v", doc.Knee)
+	}
+}

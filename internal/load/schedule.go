@@ -1,0 +1,71 @@
+package load
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Schedule selects the inter-arrival law of the open-loop generator.
+type Schedule int
+
+const (
+	// Poisson draws exponentially distributed inter-arrival gaps (a
+	// memoryless arrival process — the standard open-system model, and the
+	// one that exercises burst behaviour: at rate λ, runs of back-to-back
+	// arrivals are expected, not anomalies).
+	Poisson Schedule = iota
+	// Uniform spaces arrivals exactly 1/rate apart (a metronome). Useful
+	// for isolating the system's response to a perfectly smooth offered
+	// load from its response to Poisson bursts at the same average rate.
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Poisson:
+		return "poisson"
+	case Uniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("schedule(%d)", int(s))
+}
+
+// ParseSchedule maps a name back to a Schedule.
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "poisson":
+		return Poisson, nil
+	case "uniform":
+		return Uniform, nil
+	}
+	return 0, fmt.Errorf("load: unknown schedule %q (want poisson or uniform)", name)
+}
+
+// gapSource produces the deterministic sequence of inter-arrival gaps for
+// one run. The whole schedule is a pure function of (schedule, rate, seed):
+// replaying a seed replays the exact arrival times.
+type gapSource struct {
+	sched Schedule
+	mean  float64 // seconds between arrivals
+	rng   *rand.Rand
+}
+
+func newGapSource(s Schedule, rate float64, rng *rand.Rand) *gapSource {
+	return &gapSource{sched: s, mean: 1 / rate, rng: rng}
+}
+
+// next returns the gap between the previous arrival and the next one.
+func (g *gapSource) next() time.Duration {
+	gap := g.mean
+	if g.sched == Poisson {
+		gap = g.rng.ExpFloat64() * g.mean
+	}
+	// Clamp pathological exponential draws (~mean×20 is beyond the 1-in-1e8
+	// quantile) so a single extreme gap cannot stall a short run.
+	if max := g.mean * 20; gap > max {
+		gap = max
+	}
+	return time.Duration(gap * float64(time.Second))
+}

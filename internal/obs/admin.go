@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -196,16 +197,34 @@ func (a *Admin) Mux() *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	mux.HandleFunc("/heat", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/heat", func(w http.ResponseWriter, r *http.Request) {
+		// ?top=k bounds the ranked slot list. Validation is strict — a bad
+		// value is a 400, not a silent clamp: a planner asking for top=500
+		// must learn the table only has NumSlots slots rather than read a
+		// quietly truncated answer as complete.
+		top := 10
+		if q := r.URL.Query().Get("top"); q != "" {
+			n, err := strconv.Atoi(q)
+			if err != nil || n < 1 || n > proto.NumSlots {
+				http.Error(w, fmt.Sprintf("invalid top %q: want an integer in [1, %d]", q, proto.NumSlots),
+					http.StatusBadRequest)
+				return
+			}
+			top = n
+		}
 		a.mu.Lock()
 		reg := a.reg
 		a.mu.Unlock()
 		h := reg.HeatSnapshot()
+		rows := h.TopSlots(top)
+		if rows == nil {
+			rows = []SlotHeat{} // zero traffic renders "top": [], not null
+		}
 		doc := struct {
 			Heat *HeatSnapshot `json:"heat"`
 			Top  []SlotHeat    `json:"top"`
 			Skew float64       `json:"skew"`
-		}{Heat: h, Top: h.TopSlots(10), Skew: h.Skew()}
+		}{Heat: h, Top: rows, Skew: h.Skew()}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -181,5 +181,11 @@ func (h *HeatSnapshot) Skew() float64 {
 		return 0
 	}
 	mean := float64(sum) / float64(touched)
+	if mean == 0 {
+		// Unreachable while sum > 0, but a zero-traffic table must read as
+		// 0.0 skew, never NaN — keep the guard explicit so a future counter
+		// change cannot reintroduce a 0/0 here.
+		return 0
+	}
 	return float64(hottest) / mean
 }

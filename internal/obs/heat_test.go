@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qrdtm/internal/proto"
+)
+
+// Regression: Skew on a zero-traffic table must be exactly 0, never NaN —
+// including the conflict-only shape where slots were touched but every
+// read/write Total is zero (Total ignores conflicts and aborts).
+func TestSkewZeroTraffic(t *testing.T) {
+	var nilSnap *HeatSnapshot
+	if s := nilSnap.Skew(); s != 0 {
+		t.Errorf("nil snapshot skew = %v, want 0", s)
+	}
+	var empty HeatSnapshot
+	if s := empty.Skew(); s != 0 || math.IsNaN(s) {
+		t.Errorf("empty snapshot skew = %v, want 0", s)
+	}
+	var conflictOnly HeatSnapshot
+	conflictOnly.Conflicts[3] = 17
+	conflictOnly.Aborts[9] = 4
+	if s := conflictOnly.Skew(); s != 0 || math.IsNaN(s) {
+		t.Errorf("conflict-only snapshot skew = %v, want 0 (no read/write traffic)", s)
+	}
+
+	// A registry that recorded only conflicts round-trips the same way.
+	r := NewRegistry()
+	r.HeatConflict(proto.ObjectID("obj-5"))
+	if s := r.HeatSnapshot().Skew(); s != 0 || math.IsNaN(s) {
+		t.Errorf("registry conflict-only skew = %v, want 0", s)
+	}
+}
+
+func TestSkewBasic(t *testing.T) {
+	var h HeatSnapshot
+	h.Reads[0] = 30
+	h.Reads[1] = 10
+	h.Writes[2] = 20
+	// Totals 30/10/20 over 3 touched slots: mean 20, hottest 30 → skew 1.5.
+	if s := h.Skew(); s != 1.5 {
+		t.Errorf("skew = %v, want 1.5", s)
+	}
+}
+
+// Regression: /heat validates ?top= instead of silently clamping, answers
+// 400 on anything outside [1, NumSlots], and renders "top": [] (not null)
+// on a zero-traffic table.
+func TestHeatTopParam(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 5; i++ {
+		reg.HeatRead(proto.ObjectID(fmt.Sprintf("obj-%d", i))) // spread over slots
+	}
+	srv := httptest.NewServer(NewAdmin().WithRegistry(reg).Mux())
+	defer srv.Close()
+
+	getHeat := func(t *testing.T, query string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/heat" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	t.Run("valid", func(t *testing.T) {
+		code, body := getHeat(t, "?top=2")
+		if code != 200 {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		var doc struct {
+			Top []SlotHeat `json:"top"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.Top) != 2 {
+			t.Errorf("top=2 returned %d rows", len(doc.Top))
+		}
+	})
+
+	t.Run("default", func(t *testing.T) {
+		code, body := getHeat(t, "")
+		if code != 200 {
+			t.Fatalf("status %d: %s", code, body)
+		}
+	})
+
+	t.Run("invalid", func(t *testing.T) {
+		for _, q := range []string{"?top=0", "?top=-3", "?top=abc", "?top=1.5",
+			fmt.Sprintf("?top=%d", proto.NumSlots+1)} {
+			code, body := getHeat(t, q)
+			if code != http.StatusBadRequest {
+				t.Errorf("%s: status %d, want 400 (body %q)", q, code, body)
+			}
+		}
+	})
+
+	t.Run("boundary", func(t *testing.T) {
+		for _, q := range []string{"?top=1", fmt.Sprintf("?top=%d", proto.NumSlots)} {
+			if code, body := getHeat(t, q); code != 200 {
+				t.Errorf("%s: status %d, want 200 (body %q)", q, code, body)
+			}
+		}
+	})
+
+	t.Run("zero-traffic", func(t *testing.T) {
+		cold := httptest.NewServer(NewAdmin().WithRegistry(NewRegistry()).Mux())
+		defer cold.Close()
+		resp, err := http.Get(cold.URL + "/heat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		s := string(body)
+		if strings.Contains(s, `"top": null`) || strings.Contains(s, `"top":null`) {
+			t.Errorf("zero-traffic /heat renders top as null: %s", s)
+		}
+		if strings.Contains(s, "NaN") {
+			t.Errorf("zero-traffic /heat contains NaN: %s", s)
+		}
+		var doc struct {
+			Skew float64    `json:"skew"`
+			Top  []SlotHeat `json:"top"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("zero-traffic /heat not valid JSON: %v", err)
+		}
+		if doc.Skew != 0 {
+			t.Errorf("zero-traffic skew = %v, want 0", doc.Skew)
+		}
+		if doc.Top == nil || len(doc.Top) != 0 {
+			t.Errorf("zero-traffic top = %v, want []", doc.Top)
+		}
+	})
+}

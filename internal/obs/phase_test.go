@@ -177,6 +177,62 @@ func TestDecomposePhasesTable(t *testing.T) {
 	}
 }
 
+// TestDecomposePhasesCrossShard pins the max-serve rule for a sharded 2PC
+// commit: the prepare multicasts of both participating shards run in
+// parallel (their serve spans overlap in wall time), and the client-observed
+// commit span waits for the slowest vote across ALL shards — so
+// serve_prepare must be the max over every shard's prepare serves, not a
+// per-shard sum (sums would double-charge overlapped work and break the
+// partition), and likewise for the decide leg. The wire time left over is
+// commit_net, and the three legs still partition the commit span exactly.
+func TestDecomposePhasesCrossShard(t *testing.T) {
+	shardSpan := func(id uint64, kind proto.SpanKind, startMs, endMs int64, shard proto.ShardID) proto.Span {
+		s := mkSpan(10, id, 6, kind, startMs, endMs, true)
+		s.SetShard(shard)
+		return s
+	}
+	spans := []proto.Span{
+		mkSpan(10, 1, 0, proto.SpanRoot, 0, 100, true),
+		mkSpan(10, 2, 1, proto.SpanAttempt, 0, 100, true),
+		// Commit span 60-100ms covers both shards' parallel rounds.
+		mkSpan(10, 6, 2, proto.SpanCommit, 60, 100, true),
+		// Prepare leg: shard 0's serves (8ms, 5ms) overlap shard 1's
+		// (12ms, 6ms) — the multicasts are concurrent, not sequential.
+		shardSpan(7, proto.SpanServePrepare, 62, 70, 0),  // 8ms
+		shardSpan(8, proto.SpanServePrepare, 63, 68, 0),  // 5ms
+		shardSpan(9, proto.SpanServePrepare, 62, 74, 1),  // 12ms — slowest vote
+		shardSpan(11, proto.SpanServePrepare, 64, 70, 1), // 6ms
+		// Decide leg, again parallel across shards.
+		shardSpan(12, proto.SpanServeDecide, 80, 84, 0), // 4ms
+		shardSpan(13, proto.SpanServeDecide, 81, 87, 1), // 6ms — slowest ack
+	}
+	dec := DecomposePhases(spans)
+	if len(dec.Commits) != 1 {
+		t.Fatalf("decomposition = %d commits, want 1", len(dec.Commits))
+	}
+	b := dec.Commits[0]
+	if b.ServePrepare != 12*time.Millisecond {
+		t.Errorf("serve_prepare = %v, want 12ms (max across shards, not the 31ms sum)", b.ServePrepare)
+	}
+	if b.ServeDecide != 6*time.Millisecond {
+		t.Errorf("serve_decide = %v, want 6ms (max across shards, not the 10ms sum)", b.ServeDecide)
+	}
+	if b.CommitNet != 22*time.Millisecond { // 40ms commit - 12 - 6
+		t.Errorf("commit_net = %v, want 22ms", b.CommitNet)
+	}
+	if got := b.ServePrepare + b.ServeDecide + b.CommitNet; got != b.Commit {
+		t.Errorf("commit legs sum to %v, commit span is %v — not a partition", got, b.Commit)
+	}
+	// The whole breakdown still partitions the root exactly.
+	var sum time.Duration
+	for _, n := range PhaseNames {
+		sum += b.Phase(n)
+	}
+	if sum != b.Total {
+		t.Errorf("phases sum to %v, total is %v", sum, b.Total)
+	}
+}
+
 func TestDecomposePhasesMultiTrace(t *testing.T) {
 	spans := []proto.Span{
 		mkSpan(1, 1, 0, proto.SpanRoot, 0, 10, true),

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// This file exports Go runtime telemetry — goroutine count, heap in use, GC
+// pause p99 — as registry gauges, via the runtime/metrics sampling API.
+// Saturation diagnosis needs these alongside the protocol metrics: a p99
+// knee caused by GC pressure or a goroutine leak looks identical to protocol
+// queueing on the txn_latency histogram alone.
+//
+// Registration is explicit (RegisterRuntimeGauges), never automatic: a node
+// that doesn't opt in exposes nothing, keeping the untouched-node scrape
+// byte-identical — the same contract every other optional obs feature keeps.
+
+// Names of the gauges RegisterRuntimeGauges adds.
+const (
+	GaugeGoroutines = "go_goroutines"
+	GaugeHeapInuse  = "go_heap_inuse_bytes"
+	GaugeGCPauseP99 = "go_gc_pause_p99_us"
+)
+
+// runtime/metrics sample keys. All three exist since Go 1.16/1.17; Read
+// leaves unknown names as KindBad, which the reader below treats as zero
+// rather than panicking, so a future runtime renaming degrades gracefully.
+const (
+	metricGoroutines = "/sched/goroutines:goroutines"
+	metricHeapInuse  = "/memory/classes/heap/objects:bytes"
+	metricGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// runtimeSampler rate-limits runtime/metrics.Read: gauge callbacks fire once
+// per scraped metric, and a scrape of all three must not trigger three
+// stop-the-world-adjacent sampling passes.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	minGap  time.Duration
+	samples []metrics.Sample
+
+	goroutines int64
+	heapInuse  int64
+	gcPauseP99 int64 // microseconds
+}
+
+func newRuntimeSampler(minGap time.Duration) *runtimeSampler {
+	return &runtimeSampler{
+		minGap: minGap,
+		samples: []metrics.Sample{
+			{Name: metricGoroutines},
+			{Name: metricHeapInuse},
+			{Name: metricGCPauses},
+		},
+	}
+}
+
+// refresh re-reads the runtime metrics if the cached sample is stale.
+func (s *runtimeSampler) refresh() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	if !s.last.IsZero() && now.Sub(s.last) < s.minGap {
+		return
+	}
+	s.last = now
+	metrics.Read(s.samples)
+	for _, sm := range s.samples {
+		switch sm.Name {
+		case metricGoroutines:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.goroutines = int64(sm.Value.Uint64())
+			}
+		case metricHeapInuse:
+			if sm.Value.Kind() == metrics.KindUint64 {
+				s.heapInuse = int64(sm.Value.Uint64())
+			}
+		case metricGCPauses:
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				s.gcPauseP99 = int64(histQuantile(sm.Value.Float64Histogram(), 0.99) * 1e6)
+			}
+		}
+	}
+}
+
+func (s *runtimeSampler) get(field *int64) int64 {
+	s.refresh()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return *field
+}
+
+// histQuantile extracts the q-quantile from a runtime/metrics
+// Float64Histogram (cumulative over its run — the GC pause distribution is
+// process-lifetime, which is the right lens for "is GC part of this knee").
+// Returns the lower bound of the bucket holding the target rank.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; use the finite edge.
+			lo := h.Buckets[i]
+			if math.IsInf(lo, -1) && i+1 < len(h.Buckets) {
+				lo = h.Buckets[i+1]
+			}
+			if math.IsInf(lo, 0) {
+				return 0
+			}
+			return lo
+		}
+	}
+	return 0
+}
+
+// RegisterRuntimeGauges registers go_goroutines, go_heap_inuse_bytes and
+// go_gc_pause_p99_us on the registry. Reads are cached for ~250ms so a
+// scrape pays at most one runtime/metrics sampling pass. Nil registries
+// no-op.
+func RegisterRuntimeGauges(r *Registry) {
+	if r == nil {
+		return
+	}
+	s := newRuntimeSampler(250 * time.Millisecond)
+	r.RegisterGauge(GaugeGoroutines, func() int64 { return s.get(&s.goroutines) })
+	r.RegisterGauge(GaugeHeapInuse, func() int64 { return s.get(&s.heapInuse) })
+	r.RegisterGauge(GaugeGCPauseP99, func() int64 { return s.get(&s.gcPauseP99) })
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/metrics"
+	"testing"
+)
+
+func TestRegisterRuntimeGauges(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeGauges(r)
+	g := r.GaugeValues()
+	if g[GaugeGoroutines] < 1 {
+		t.Errorf("%s = %d, want >= 1 (this test is a goroutine)", GaugeGoroutines, g[GaugeGoroutines])
+	}
+	if g[GaugeHeapInuse] <= 0 {
+		t.Errorf("%s = %d, want > 0", GaugeHeapInuse, g[GaugeHeapInuse])
+	}
+	if g[GaugeGCPauseP99] < 0 {
+		t.Errorf("%s = %d, want >= 0", GaugeGCPauseP99, g[GaugeGCPauseP99])
+	}
+
+	// The gauges ride the standard qrdtm_gauge family on the prom scrape.
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`qrdtm_gauge{name="go_goroutines"}`,
+		`qrdtm_gauge{name="go_heap_inuse_bytes"}`,
+		`qrdtm_gauge{name="go_gc_pause_p99_us"}`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("prom scrape missing %s", want)
+		}
+	}
+}
+
+// RegisterRuntimeGauges is opt-in: a registry that never opts in must not
+// grow go_* gauges (the untouched-scrape contract).
+func TestRuntimeGaugesOptIn(t *testing.T) {
+	r := NewRegistry()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("go_")) {
+		t.Error("untouched registry exposes runtime gauges")
+	}
+	RegisterRuntimeGauges(nil) // nil registry must no-op, not panic
+}
+
+func TestHistQuantile(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 80, 10},
+		Buckets: []float64{0, 1e-3, 1e-2, 1e-1},
+	}
+	if q := histQuantile(h, 0.5); q != 1e-3 {
+		t.Errorf("p50 = %v, want 1e-3 (middle bucket lower edge)", q)
+	}
+	if q := histQuantile(h, 0.99); q != 1e-2 {
+		t.Errorf("p99 = %v, want 1e-2 (top bucket lower edge)", q)
+	}
+	if q := histQuantile(nil, 0.99); q != 0 {
+		t.Errorf("nil hist quantile = %v, want 0", q)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0, 0}, Buckets: []float64{0, 1, 2}}
+	if q := histQuantile(empty, 0.99); q != 0 {
+		t.Errorf("empty hist quantile = %v, want 0", q)
+	}
+}

@@ -29,6 +29,7 @@ import (
 
 	"qrdtm/internal/cluster"
 	"qrdtm/internal/core"
+	"qrdtm/internal/load"
 	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
@@ -109,6 +110,45 @@ type (
 // NewAuditor builds a streaming auditor over the registry's span buffer (see
 // obs.NewAuditor); Start it, and Stop it at shutdown for a final flush.
 func NewAuditor(reg *Registry, cfg AuditorConfig) *Auditor { return obs.NewAuditor(reg, cfg) }
+
+// Open-loop load re-exports (see internal/load and DESIGN.md §14): a
+// Generator offers transactions on a fixed arrival schedule regardless of
+// completion, measuring latency from each arrival's *intended* time so
+// saturation shows up as queueing/shedding instead of the coordinated
+// omission of a closed loop.
+type (
+	// LoadConfig configures an open-loop Generator.
+	LoadConfig = load.Config
+	// LoadGenerator is the open-loop transaction generator.
+	LoadGenerator = load.Generator
+	// LoadStats is a completed run's accounting.
+	LoadStats = load.Stats
+	// LoadPoint is one timeline sample of a running generator.
+	LoadPoint = load.Point
+	// LoadSchedule selects the arrival process (Poisson or Uniform).
+	LoadSchedule = load.Schedule
+	// TxnFunc is the per-arrival transaction body a Generator drives.
+	TxnFunc = load.TxnFunc
+)
+
+// Arrival schedules.
+const (
+	// Poisson draws exponential inter-arrival gaps (open-system model).
+	Poisson = load.Poisson
+	// Uniform spaces arrivals evenly at the target rate.
+	Uniform = load.Uniform
+)
+
+// NewLoadGenerator builds an open-loop generator (see load.New).
+func NewLoadGenerator(cfg LoadConfig) (*LoadGenerator, error) { return load.New(cfg) }
+
+// ParseLoadSchedule parses "poisson" or "uniform" (see load.ParseSchedule).
+func ParseLoadSchedule(name string) (LoadSchedule, error) { return load.ParseSchedule(name) }
+
+// RegisterRuntimeGauges exports Go runtime health (goroutines, heap in use,
+// GC pause p99) as registry gauges (see obs.RegisterRuntimeGauges). Opt-in:
+// an untouched registry's Prometheus scrape stays byte-identical.
+func RegisterRuntimeGauges(reg *Registry) { obs.RegisterRuntimeGauges(reg) }
 
 // DecomposePhases stitches a span timeline into per-commit critical-path
 // phase breakdowns (see obs.DecomposePhases).
