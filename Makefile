@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-quick bench-obs bench-trace bench-wire bench-shard bench-load bench-load-quick exp exp-quick fmt cover clean check
+.PHONY: all build vet test race bench bench-quick bench-obs bench-trace bench-wire bench-shard bench-load bench-load-quick bench-wal exp exp-quick fmt cover clean check
 
 all: build vet test
 
@@ -16,19 +16,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/ .
+	$(GO) test -race ./internal/core/ ./internal/store/ ./internal/cluster/ ./internal/obs/ ./internal/wal/ ./internal/server/ .
 
-# Fast pre-commit gate: vet, the race-detected transport, engine, load and
-# observability suites, short wire-message, binary-codec and shard/2PC
-# message fuzz smokes (the codec and shard runs also seed from — and so
-# guard — their checked-in corpora), the wire-protocol A/B benchmark and a
+# Fast pre-commit gate: vet, the race-detected transport, engine, load,
+# observability and WAL suites, short wire-message, binary-codec, shard/2PC
+# and WAL-record fuzz smokes (the codec, shard and WAL runs also seed from —
+# and so guard — their checked-in corpora), the race-detected subprocess
+# kill -9 crash-recovery test, the wire-protocol A/B benchmark and a
 # two-step open-loop ladder smoke.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/... ./internal/load/...
+	$(GO) test -race ./internal/cluster/... ./internal/core/... ./internal/obs/... ./internal/load/... ./internal/wal/... ./internal/server/...
 	$(GO) test -run='^$$' -fuzz=FuzzBatchReadWire -fuzztime=5s ./internal/proto/
 	$(GO) test -run=TestWireFuzzCorpusPresent -fuzz=FuzzWireCodec -fuzztime=5s ./internal/proto/
 	$(GO) test -run=TestShardFuzzCorpusPresent -fuzz=FuzzShardWire -fuzztime=5s ./internal/proto/
+	$(GO) test -run=TestWALFuzzCorpusPresent -fuzz=FuzzWALRecord -fuzztime=5s ./internal/wal/
+	$(GO) test -race -run=TestSubprocessCrashRecovery .
 	$(MAKE) bench-wire
 	$(MAKE) bench-load-quick
 
@@ -74,6 +77,15 @@ bench-load:
 bench-load-quick:
 	$(GO) run ./cmd/qr-bench -exp load -quick
 	@grep -q '"steps"' BENCH_load.json || { echo "bench-load-quick: BENCH_load.json missing step ladder" >&2; exit 1; }
+
+# Durable vs in-memory commit cost over real TCP at several group-commit
+# flush intervals → BENCH_wal.json. The greps guard the artifact's
+# load-bearing fields: without a durable cell and its fsync accounting the
+# README's durability table has no measurement behind it.
+bench-wal:
+	$(GO) run ./cmd/qr-bench -exp wal
+	@grep -q '"durability": "wal"' BENCH_wal.json || { echo "bench-wal: BENCH_wal.json missing durable cell" >&2; exit 1; }
+	@grep -q '"fsyncs_per_txn"' BENCH_wal.json || { echo "bench-wal: BENCH_wal.json missing fsync accounting" >&2; exit 1; }
 
 # Regenerate the paper's figures and tables.
 exp:

@@ -44,13 +44,14 @@ import (
 	"qrdtm/internal/proto"
 	"qrdtm/internal/quorum"
 	"qrdtm/internal/server"
+	"qrdtm/internal/wal"
 )
 
 func main() {
 	id := flag.Int("id", 0, "node id (position in the ternary tree)")
 	listen := flag.String("listen", "127.0.0.1:7400", "listen address (server mode)")
 	client := flag.Bool("client", false, "run the demo client instead of a replica")
-	peers := flag.String("peers", "", "comma-separated replica addresses, ordered by node id (client mode)")
+	peers := flag.String("peers", "", "comma-separated replica addresses, ordered by node id (client mode; server mode: catch up from these peers' log tails before serving)")
 	mode := flag.String("mode", "closed", "client protocol mode: flat, flatrqv, closed, checkpoint")
 	txns := flag.Int("txns", 20, "demo transactions to run (client mode)")
 	retries := flag.Int("retries", 6, "per-call attempt budget for transient faults (client mode; 1 disables retry)")
@@ -62,6 +63,9 @@ func main() {
 	legacyWire := flag.Bool("legacy-wire", false, "client mode: speak the legacy one-call-per-connection gob protocol instead of pipelined binary frames (servers accept both)")
 	shards := flag.Int("shards", 0, "client mode: partition the object space into this many quorum groups (0/1 = one tree over all replicas)")
 	goMetrics := flag.Bool("go-metrics", false, "export Go runtime gauges (goroutines, heap, GC pause p99) on /metrics; off by default so untouched scrapes stay byte-identical")
+	dataDir := flag.String("data-dir", "", "server mode: durable data directory (write-ahead log + snapshots); empty runs in-memory")
+	fsyncInterval := flag.Duration("fsync-interval", time.Millisecond, "server mode: group-commit window — how long appends wait to share one fsync (0 = sync every batch immediately)")
+	snapshotEvery := flag.Uint64("snapshot-every", 4096, "server mode: snapshot + compact the log every this many records (0 disables automatic snapshots)")
 	flag.Parse()
 
 	if *client {
@@ -79,6 +83,54 @@ func main() {
 		obs.RegisterRuntimeGauges(reg)
 	}
 	rep := server.New(proto.NodeID(*id)).WithObs(reg)
+	if *dataDir != "" {
+		// Durable startup: restore snapshot + log, then pull what was missed
+		// from the peers' log tails — all before the listener opens, so no
+		// live prepare can race the catch-up.
+		w, res, err := wal.Open(wal.Options{
+			Dir:           *dataDir,
+			FsyncInterval: *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+			Obs:           reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		rep.WithWAL(w)
+		rep.Restore(res)
+		log.Printf("qr-node %d restored from %s: %d log records replayed, %d prepared-but-undecided txns, torn tail=%v",
+			*id, *dataDir, len(res.Records), rep.RestoredProtections(), res.Torn)
+		var stats qrdtm.CatchUpStats
+		if *peers != "" {
+			addrs := strings.Split(*peers, ",")
+			pm := make(map[proto.NodeID]string, len(addrs))
+			ids := make([]proto.NodeID, len(addrs))
+			for i, a := range addrs {
+				pm[proto.NodeID(i)] = strings.TrimSpace(a)
+				ids[i] = proto.NodeID(i)
+			}
+			tcp := cluster.NewTCPTransport(pm)
+			trans := cluster.NewRetryTransport(tcp, cluster.RetryPolicy{MaxAttempts: 3, CallTimeout: 2 * time.Second})
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			stats, err = qrdtm.CatchUp(ctx, trans, proto.NodeID(*id), ids, rep)
+			cancel()
+			tcp.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("qr-node %d catch-up: %d records from %d peer tails, %d full resyncs, %d peers skipped, %d stale protections dropped",
+				*id, stats.RecordsApplied, stats.TailPeers, stats.FullResyncs, stats.SkippedPeers, stats.DroppedProtections)
+		} else {
+			// No peers to consult: resolve pre-crash protections locally
+			// (nobody will ever deliver their decides to a lone node).
+			stats.DroppedProtections = rep.ResolveRestoredProtections()
+		}
+		reg.RegisterGauge("catchup_tail_total", func() int64 { return int64(stats.TailPeers) })
+		reg.RegisterGauge("catchup_full_total", func() int64 { return int64(stats.FullResyncs) })
+		reg.RegisterGauge("catchup_records_applied", func() int64 { return int64(stats.RecordsApplied) })
+		reg.RegisterGauge("catchup_dropped_protections", func() int64 { return int64(stats.DroppedProtections) })
+	}
 	srv, err := cluster.ListenTCP(proto.NodeID(*id), *listen, rep.Handle)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,127 @@
+package qrdtm
+
+// Restart-time catch-up for durable replicas: after a replica restores its
+// store from its data directory (WAL snapshot + log replay), CatchUp pulls
+// the log tails of its peers to apply every decision and install it missed
+// while down — bounded by the tail length, not the store size. A peer that
+// compacted past this replica's cursor forces the conservative fallback: a
+// full InstallNewer state transfer. See DESIGN.md §15.
+
+import (
+	"context"
+	"fmt"
+
+	"qrdtm/internal/cluster"
+	"qrdtm/internal/proto"
+	"qrdtm/internal/server"
+)
+
+// CatchUpStats reports what one CatchUp pass did. The qr-node admin surface
+// exposes them as catchup_* gauges, which is how the crash-recovery test
+// asserts "caught up from the log tail, no full resync".
+type CatchUpStats struct {
+	// TailPeers counts peers whose log tail was successfully consulted
+	// (possibly applying zero records).
+	TailPeers int
+	// FullResyncs counts peers that had compacted past our cursor and were
+	// drained with a full state transfer instead.
+	FullResyncs int
+	// SkippedPeers counts peers that were unreachable or not running
+	// durably (no log to serve).
+	SkippedPeers int
+	// RecordsApplied counts tail records applied to the local store.
+	RecordsApplied int
+	// DroppedProtections counts objects whose pre-crash commit locks were
+	// released after every peer had been consulted (prepared-but-undecided
+	// transactions whose decision no reachable peer had ever seen).
+	DroppedProtections int
+}
+
+// CatchUp brings a restored replica back up to date from its peers' logs.
+// Call it after server.Replica.Restore and before the replica starts
+// serving. Each peer is consulted from this replica's durable cursor for
+// it; applied records are re-logged locally so progress survives another
+// crash. Unreachable and non-durable peers are skipped (and counted) — the
+// recovery quorum argument is the same as Cluster.Recover's: decides go to
+// the union of prepared and current write quorums, and write quorums
+// pairwise intersect, so the reachable peers' tails jointly contain every
+// decision this replica acked a prepare for. The returned error is non-nil
+// only for local failures (own-WAL append) or context cancellation.
+func CatchUp(ctx context.Context, trans cluster.Transport, self proto.NodeID, peers []proto.NodeID, rep *server.Replica) (CatchUpStats, error) {
+	var st CatchUpStats
+	for _, peer := range peers {
+		if peer == self {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		after := rep.Cursor(peer)
+		for {
+			resp, err := trans.Call(ctx, self, peer, proto.LogTailReq{After: after})
+			if err != nil {
+				st.SkippedPeers++
+				break
+			}
+			lt, ok := resp.(proto.LogTailRep)
+			if !ok || !lt.OK {
+				st.SkippedPeers++
+				break
+			}
+			if lt.Compacted {
+				if err := fullResync(ctx, trans, self, peer, rep); err != nil {
+					st.SkippedPeers++
+				} else {
+					st.FullResyncs++
+				}
+				break
+			}
+			for _, r := range lt.Records {
+				applied, err := rep.ApplyLogRecord(r)
+				if err != nil {
+					return st, fmt.Errorf("catch-up from %v: %w", peer, err)
+				}
+				if applied {
+					st.RecordsApplied++
+				}
+			}
+			if lt.Next > after {
+				after = lt.Next
+				if err := rep.SetCursor(peer, after); err != nil {
+					return st, fmt.Errorf("catch-up from %v: %w", peer, err)
+				}
+			}
+			if !lt.More {
+				st.TailPeers++
+				break
+			}
+		}
+	}
+	st.DroppedProtections = rep.ResolveRestoredProtections()
+	return st, ctx.Err()
+}
+
+// fullResync drains a peer's entire committed state (every slot) with
+// InstallNewer semantics — the bounded tail was compacted away, so the
+// transfer cost is the store size, exactly what the log tail normally
+// avoids.
+func fullResync(ctx context.Context, trans cluster.Transport, self, peer proto.NodeID, rep *server.Replica) error {
+	slots := make([]int, proto.NumSlots)
+	for i := range slots {
+		slots[i] = i
+	}
+	resp, err := trans.Call(ctx, self, peer, proto.SlotDumpReq{Slots: slots})
+	if err != nil {
+		return err
+	}
+	sd, ok := resp.(proto.SlotDumpRep)
+	if !ok {
+		return fmt.Errorf("catch-up: unexpected %T from %v", resp, peer)
+	}
+	if len(sd.Copies) > 0 {
+		if _, err := rep.ApplyLogRecord(proto.LogRecord{Kind: proto.LogKindInstall, Copies: sd.Copies}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -51,6 +51,9 @@ const (
 	// SiteQueueDepth is the number of frames already queued ahead of a frame
 	// at enqueue time (dimensionless; 0 = the write loop was idle).
 	SiteQueueDepth
+	// SiteWALFsync is the duration of one write-ahead-log group-commit flush
+	// (write + fsync); each sample may have acknowledged many appends.
+	SiteWALFsync
 
 	numSites
 )
@@ -70,6 +73,7 @@ var siteNames = [numSites]string{
 	SiteLockWait:      "lock_wait",
 	SiteQueueWait:     "queue_wait",
 	SiteQueueDepth:    "queue_depth",
+	SiteWALFsync:      "wal_fsync",
 }
 
 // String implements fmt.Stringer.
@@ -85,6 +89,7 @@ var Sites = []Site{
 	SiteReadRTT, SiteCommitRTT, SiteTxnLatency, SiteBackoff,
 	SiteRollbackDepth, SiteServeRead, SiteServePrepare, SiteBatchSize,
 	SitePhasePrepare, SitePhaseDecide, SiteLockWait, SiteQueueWait, SiteQueueDepth,
+	SiteWALFsync,
 }
 
 // AbortCause classifies why a transaction (or subtransaction) attempt was

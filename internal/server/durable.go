@@ -1,0 +1,244 @@
+package server
+
+import (
+	"sync"
+
+	"qrdtm/internal/proto"
+	"qrdtm/internal/wal"
+)
+
+// This file wires a write-ahead log into the replica: log-before-ack on
+// every state-changing handler, snapshot capture, restart-time restore, and
+// the two sides of log-tail catch-up (serving LogTailReq, applying a peer's
+// records). See DESIGN.md §15.
+
+// durable is the replica's persistence state (nil when running in-memory).
+type durable struct {
+	w *wal.WAL
+
+	mu      sync.Mutex
+	cursors map[proto.NodeID]uint64 // per-peer catch-up cursor (highest peer log index applied)
+	// restored names the transactions whose protections were rebuilt from
+	// the log: prepared here before the crash, not yet seen to decide.
+	// Catch-up resolves most of them (the decides are in some peer's log —
+	// write quorums pairwise intersect and decides go to the union of
+	// prepared and current quorums); ResolveRestoredProtections drops the
+	// rest once every peer has been consulted.
+	restored map[proto.TxnID]struct{}
+}
+
+// WithWAL attaches an opened write-ahead log and installs the replica as its
+// snapshot source. Attach before serving and before Restore; the field is
+// read unsynchronized on the hot path.
+func (r *Replica) WithWAL(w *wal.WAL) *Replica {
+	r.dur = &durable{
+		w:        w,
+		cursors:  make(map[proto.NodeID]uint64),
+		restored: make(map[proto.TxnID]struct{}),
+	}
+	w.SetSnapshotSource(func() (wal.SnapshotState, error) {
+		return wal.SnapshotState{
+			Objects: r.st.State(),
+			Cursors: r.Cursors(),
+			Map:     r.ShardMap(),
+		}, nil
+	})
+	return r
+}
+
+// WAL returns the attached log (nil when running in-memory).
+func (r *Replica) WAL() *wal.WAL {
+	if r.dur == nil {
+		return nil
+	}
+	return r.dur.w
+}
+
+// Restore applies a recovered log state (snapshot plus replayed records) to
+// the replica. Object protections of prepared-but-undecided transactions
+// survive the restore — they are promises this replica acked — while
+// abstract locks and contention metadata restart empty (volatile
+// coordination state, as in Store.DropLocks). Call after WithWAL and before
+// serving.
+func (r *Replica) Restore(res *wal.Restore) {
+	if res == nil {
+		return
+	}
+	if res.Snapshot != nil {
+		r.st.RestoreState(res.Snapshot.Objects)
+		if res.Snapshot.Map.Epoch > 0 {
+			r.SetShardMap(res.Snapshot.Map)
+		}
+		if r.dur != nil {
+			r.dur.mu.Lock()
+			for p, i := range res.Snapshot.Cursors {
+				r.dur.cursors[p] = i
+			}
+			r.dur.mu.Unlock()
+		}
+	}
+	for _, rec := range res.Records {
+		if wal.Apply(r.st, rec) {
+			continue
+		}
+		switch m := rec.Msg.(type) {
+		case proto.MapUpdateReq:
+			r.SetShardMap(m.Map)
+		case wal.Cursor:
+			if r.dur != nil {
+				r.dur.mu.Lock()
+				r.dur.cursors[m.Peer] = m.Index
+				r.dur.mu.Unlock()
+			}
+		}
+	}
+	if r.dur != nil {
+		r.dur.restored = r.st.ProtectedBy()
+	}
+}
+
+// RestoredProtections reports how many prepared-but-undecided transactions
+// the restore rebuilt protections for (tests and recovery accounting).
+func (r *Replica) RestoredProtections() int {
+	if r.dur == nil {
+		return 0
+	}
+	r.dur.mu.Lock()
+	defer r.dur.mu.Unlock()
+	return len(r.dur.restored)
+}
+
+// ResolveRestoredProtections drops every still-held protection belonging to
+// a restored (pre-crash) transaction, returning how many objects were
+// released. Call once catch-up has consulted every reachable peer: any
+// decide that was ever issued for those transactions has been applied by
+// then, so a leftover protection belongs to a commit that never decided —
+// holding it longer could only deny future prepares forever (the same
+// argument as Store.DropLocks, narrowed to the pre-crash transactions so
+// post-restart prepares are untouched).
+func (r *Replica) ResolveRestoredProtections() int {
+	if r.dur == nil {
+		return 0
+	}
+	r.dur.mu.Lock()
+	owners := r.dur.restored
+	r.dur.restored = make(map[proto.TxnID]struct{})
+	r.dur.mu.Unlock()
+	if len(owners) == 0 {
+		return 0
+	}
+	return r.st.DropProtections(owners)
+}
+
+// Cursor returns the catch-up cursor for peer (0 = never caught up from it).
+func (r *Replica) Cursor(peer proto.NodeID) uint64 {
+	if r.dur == nil {
+		return 0
+	}
+	r.dur.mu.Lock()
+	defer r.dur.mu.Unlock()
+	return r.dur.cursors[peer]
+}
+
+// Cursors returns a copy of every per-peer catch-up cursor.
+func (r *Replica) Cursors() map[proto.NodeID]uint64 {
+	if r.dur == nil {
+		return nil
+	}
+	r.dur.mu.Lock()
+	defer r.dur.mu.Unlock()
+	out := make(map[proto.NodeID]uint64, len(r.dur.cursors))
+	for p, i := range r.dur.cursors {
+		out[p] = i
+	}
+	return out
+}
+
+// SetCursor durably advances the catch-up cursor for peer.
+func (r *Replica) SetCursor(peer proto.NodeID, index uint64) error {
+	if r.dur == nil {
+		return nil
+	}
+	r.dur.mu.Lock()
+	r.dur.cursors[peer] = index
+	r.dur.mu.Unlock()
+	return r.dur.w.Append(wal.KindCursor, wal.Cursor{Peer: peer, Index: index})
+}
+
+// ApplyLogRecord applies one catch-up record fetched from a peer's log:
+// decisions run through the store's idempotent Commit/Abort (resolving any
+// matching restored protection), installs through InstallNewer. The applied
+// mutation is re-logged to this replica's own WAL, so a second crash does
+// not lose catch-up progress. Returns false for record kinds this replica
+// does not apply.
+func (r *Replica) ApplyLogRecord(rec proto.LogRecord) (bool, error) {
+	switch rec.Kind {
+	case proto.LogKindDecide:
+		if rec.Commit {
+			r.st.Commit(rec.Txn, rec.Copies)
+		} else {
+			ids := make([]proto.ObjectID, len(rec.Copies))
+			for i, c := range rec.Copies {
+				ids[i] = c.ID
+			}
+			r.st.Abort(rec.Txn, ids)
+		}
+		return true, r.walAppend(wal.KindDecide, proto.DecideReq{Txn: rec.Txn, Commit: rec.Commit, Writes: rec.Copies})
+	case proto.LogKindInstall:
+		if r.st.InstallNewer(rec.Copies) > 0 {
+			return true, r.walAppend(wal.KindInstall, proto.InstallReq{Copies: rec.Copies})
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// walAppend logs one record when a WAL is attached (no-op otherwise).
+func (r *Replica) walAppend(kind wal.Kind, msg any) error {
+	if r.dur == nil {
+		return nil
+	}
+	return r.dur.w.Append(kind, msg)
+}
+
+// logTailMax caps records per LogTailRep so one reply cannot balloon past
+// the transport's frame limits; requesters loop on More.
+const logTailMax = 2048
+
+// handleLogTail serves a peer's catch-up request from this replica's log.
+// Only externally meaningful records are shipped (decisions and installs);
+// prepares, map updates and cursors are local bookkeeping, but their
+// indices still advance Next so the requester's cursor tracks the raw log.
+func (r *Replica) handleLogTail(m proto.LogTailReq) proto.LogTailRep {
+	if r.dur == nil {
+		return proto.LogTailRep{}
+	}
+	max := m.Max
+	if max <= 0 || max > logTailMax {
+		max = logTailMax
+	}
+	recs, more, compacted, err := r.dur.w.Tail(m.After, max)
+	if err != nil || compacted {
+		return proto.LogTailRep{OK: err == nil, Compacted: compacted}
+	}
+	rep := proto.LogTailRep{OK: true, Next: m.After, More: more}
+	for _, rec := range recs {
+		rep.Next = rec.Index
+		switch msg := rec.Msg.(type) {
+		case proto.DecideReq:
+			rep.Records = append(rep.Records, proto.LogRecord{
+				Index: rec.Index, Kind: proto.LogKindDecide,
+				Txn: msg.Txn, Commit: msg.Commit, Copies: msg.Writes,
+			})
+		case proto.LoadReq:
+			rep.Records = append(rep.Records, proto.LogRecord{
+				Index: rec.Index, Kind: proto.LogKindInstall, Copies: msg.Objects,
+			})
+		case proto.InstallReq:
+			rep.Records = append(rep.Records, proto.LogRecord{
+				Index: rec.Index, Kind: proto.LogKindInstall, Copies: msg.Copies,
+			})
+		}
+	}
+	return rep
+}

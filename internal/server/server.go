@@ -11,6 +11,7 @@ import (
 	"qrdtm/internal/obs"
 	"qrdtm/internal/proto"
 	"qrdtm/internal/store"
+	"qrdtm/internal/wal"
 )
 
 // Metrics counts protocol events on one replica. All fields are updated
@@ -60,6 +61,10 @@ type Replica struct {
 	// for span tagging.
 	smap     atomic.Pointer[proto.ShardMap]
 	ownShard atomic.Int64
+
+	// dur is the persistence state (WAL, catch-up cursors); nil runs the
+	// replica in-memory as before. See durable.go.
+	dur *durable
 }
 
 // New builds a replica for node id with an empty store.
@@ -224,6 +229,19 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 		}
 		t0 := r.obs.Start()
 		ok := r.st.PrepareOpen(m.Txn, m.Reads, m.Writes, m.AbsLocks, m.Owner)
+		if ok && r.dur != nil {
+			// Log before ack: a yes vote is a promise the replica must keep
+			// across kill -9. If it cannot be made durable, undo the
+			// acquisitions (protections and abstract locks) and vote no.
+			if err := r.dur.w.Append(wal.KindPrepare, m); err != nil {
+				ids := make([]proto.ObjectID, len(m.Writes))
+				for i, w := range m.Writes {
+					ids[i] = w.ID
+				}
+				r.st.Abort(m.Txn, ids)
+				ok = false
+			}
+		}
 		r.obs.ObserveSince(obs.SiteServePrepare, t0)
 		if !ok {
 			r.metrics.PrepareRejects.Add(1)
@@ -260,12 +278,17 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 			}
 			r.st.Abort(m.Txn, ids)
 		}
+		// Log before ack: a restarted replica must re-reach this decision's
+		// outcome. A flush failure is sticky in the WAL (and coordinators
+		// ignore decide replies), so the error is not actionable here.
+		_ = r.walAppend(wal.KindDecide, m)
 		sp.SetTxn(m.Txn)
 		sp.SetOK(m.Commit)
 		sp.End()
 		return proto.DecideRep{}
 	case proto.LoadReq:
 		r.st.Load(m.Objects)
+		_ = r.walAppend(wal.KindLoad, m)
 		return proto.LoadRep{}
 	case proto.DumpReq:
 		c, ok := r.st.Get(m.Obj)
@@ -275,12 +298,22 @@ func (r *Replica) Handle(_ proto.NodeID, req any) any {
 	case proto.ShardMapReq:
 		return proto.ShardMapRep{Map: r.ShardMap()}
 	case proto.MapUpdateReq:
-		return proto.MapUpdateRep{Epoch: r.SetShardMap(m.Map)}
+		epoch := r.SetShardMap(m.Map)
+		if epoch == m.Map.Epoch {
+			_ = r.walAppend(wal.KindMap, m)
+		}
+		return proto.MapUpdateRep{Epoch: epoch}
 	case proto.SlotDumpReq:
 		copies, protected := r.st.DumpSlots(m.Slots)
 		return proto.SlotDumpRep{Copies: copies, Protected: protected}
 	case proto.InstallReq:
-		return proto.InstallRep{Installed: r.st.InstallNewer(m.Copies)}
+		n := r.st.InstallNewer(m.Copies)
+		if n > 0 {
+			_ = r.walAppend(wal.KindInstall, m)
+		}
+		return proto.InstallRep{Installed: n}
+	case proto.LogTailReq:
+		return r.handleLogTail(m)
 	default:
 		panic("server: unknown request type")
 	}

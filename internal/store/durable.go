@@ -1,0 +1,105 @@
+package store
+
+import "qrdtm/internal/proto"
+
+// This file is the store's durability surface: whole-state capture/restore
+// for WAL snapshots, and the replay-side primitives (Protect,
+// DropProtections) that let a restarted replica rebuild exactly the
+// promises it made before crashing. See internal/wal and DESIGN.md §15.
+
+// Entry is one object's durable state: the committed copy plus the commit
+// lock. PR/PW lists and delta-validation sessions are contention-manager
+// caches, not correctness state, and deliberately do not persist.
+type Entry struct {
+	Copy      proto.ObjectCopy
+	Protected bool
+	Protector proto.TxnID
+}
+
+// State returns a deep copy of every object's durable state (snapshot
+// capture). It is atomic with respect to all other store operations, so a
+// snapshot taken mid-workload is a consistent cut.
+func (s *Store) State() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.objs))
+	for _, r := range s.objs {
+		out = append(out, Entry{Copy: r.copyv.Clone(), Protected: r.protected, Protector: r.protector})
+	}
+	return out
+}
+
+// RestoreState replaces the object table with the given entries (snapshot
+// restore). Abstract locks, PR/PW lists and validation sessions start empty:
+// they are volatile coordination state (see DropLocks for the argument).
+func (s *Store) RestoreState(entries []Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objs = make(map[proto.ObjectID]*record, len(entries))
+	for _, e := range entries {
+		s.objs[e.Copy.ID] = &record{
+			copyv:     e.Copy.Clone(),
+			protected: e.Protected,
+			protector: e.Protector,
+		}
+	}
+	clear(s.absLocks)
+	clear(s.absPrep)
+	clear(s.sessions)
+}
+
+// Protect re-establishes the commit locks of a logged prepare vote during
+// WAL replay. Unlike PrepareOpen it performs no validation: the vote already
+// happened and was acked, so the restarted replica must keep honouring it
+// until the decision arrives (possibly via log-tail catch-up from a peer).
+// Replay applies records in original log order, so re-granting without
+// checks reconstructs exactly the grant history the live store produced.
+func (s *Store) Protect(txn proto.TxnID, ids []proto.ObjectID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range ids {
+		r := s.rec(id)
+		r.protected = true
+		r.protector = txn
+	}
+}
+
+// DropProtections releases every commit lock whose protector is in owners,
+// returning how many objects were released. Restart recovery calls it for
+// the prepared-but-undecided transactions that remain after catch-up
+// consulted every peer: their coordinators decided (or died) without this
+// replica, and — as with DropLocks — a protection nobody will ever resolve
+// could only deny future prepares forever. Unlike DropLocks it leaves other
+// transactions' locks, abstract locks and sessions untouched, because a
+// catch-up-recovered replica rejoins a live cluster whose in-flight
+// transactions it is already participating in.
+func (s *Store) DropProtections(owners map[proto.TxnID]struct{}) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.objs {
+		if r.protected {
+			if _, ok := owners[r.protector]; ok {
+				r.protected = false
+				r.protector = 0
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ProtectedBy returns the set of transactions currently holding commit locks
+// (restart recovery uses it to name the prepared-but-undecided survivors;
+// tests use it to assert protection state).
+func (s *Store) ProtectedBy() map[proto.TxnID]struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[proto.TxnID]struct{})
+	for _, r := range s.objs {
+		if r.protected {
+			out[r.protector] = struct{}{}
+		}
+	}
+	return out
+}
